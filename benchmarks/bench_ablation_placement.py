@@ -1,0 +1,53 @@
+"""Ablation — two-disk stream placement (paper §II-C2 / Fig. 10 design).
+
+Compares, on two disks, the paper's rotating placement ("switch the roles
+of stay stream in and stay stream out each iteration") against the naive
+fixed placement (stay-out and updates pinned to disk 1) and against one
+disk.  Rotation wins because it keeps every pass's reads and writes on
+different spindles; fixed placement makes disk 1 serve the gather's update
+reads from behind a queue of stay writes.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table
+from repro.utils.units import format_seconds
+
+VARIANTS = [
+    ("1 disk", dict(engine="fastbfs", num_disks=1)),
+    ("2 disks, fixed stay+updates on disk 1",
+     dict(engine="fastbfs", num_disks=2, stay_disk=1, update_disk=1)),
+    ("2 disks, rotating (paper)",
+     dict(engine="fastbfs-2disk", num_disks=2)),
+]
+
+
+def test_ablation_two_disk_placement(benchmark, runner, emit):
+    def run_all():
+        out = {}
+        for name, spec in VARIANTS:
+            spec = dict(spec)
+            engine = spec.pop("engine")
+            out[name] = runner.run("rmat25", engine, "hdd", **spec)
+        return out
+
+    results = once(benchmark, run_all)
+    rows = [
+        [name, format_seconds(r.execution_time),
+         f"{r.report.iowait_ratio:.1%}",
+         int(r.extras["stay_cancellations"])]
+        for name, r in results.items()
+    ]
+    text = format_table(
+        ["placement", "time", "iowait", "cancels"],
+        rows,
+        "Ablation: two-disk stream placement, rmat25",
+    )
+    emit("ablation_placement", text)
+
+    t = {name: r.execution_time for name, r in results.items()}
+    assert t["2 disks, rotating (paper)"] < t["1 disk"]
+    assert (
+        t["2 disks, rotating (paper)"]
+        <= t["2 disks, fixed stay+updates on disk 1"]
+    )

@@ -1,0 +1,66 @@
+"""Fig. 10 — performance with parallel I/O (two disks).
+
+FastBFS with the stay-out and update streams rotated onto a second disk,
+vs single-disk FastBFS and X-Stream, on all four big datasets.  Shape
+obligations: 1.6-1.7x over single-disk FastBFS and 2.5-3.6x over X-Stream.
+"""
+
+from conftest import once
+
+from repro.analysis import paper
+from repro.analysis.tables import format_table, speedup_table
+from repro.graph.datasets import BIG_DATASETS
+from repro.utils.units import format_seconds
+
+SLACK = 0.30
+
+
+def test_fig10_two_disks(benchmark, runner, emit):
+    def run_all():
+        out = {}
+        for ds in BIG_DATASETS:
+            out[ds] = {
+                "x-stream": runner.run(ds, "x-stream", "hdd"),
+                "fastbfs-1disk": runner.run(ds, "fastbfs", "hdd"),
+                "fastbfs-2disk": runner.run(
+                    ds, "fastbfs-2disk", "hdd", num_disks=2
+                ),
+            }
+        return out
+
+    results = once(benchmark, run_all)
+    rows = [
+        [ds] + [format_seconds(results[ds][k].execution_time)
+                for k in ("x-stream", "fastbfs-1disk", "fastbfs-2disk")]
+        for ds in BIG_DATASETS
+    ]
+    text = format_table(
+        ["dataset", "x-stream", "fastbfs 1 disk", "fastbfs 2 disks"],
+        rows,
+        "Fig. 10: execution time with parallel I/O (stream rotation across "
+        "two disks)",
+    )
+    speedups = {
+        ds: {
+            "vs 1 disk": results[ds]["fastbfs-1disk"].execution_time
+            / results[ds]["fastbfs-2disk"].execution_time,
+            "vs x-stream": results[ds]["x-stream"].execution_time
+            / results[ds]["fastbfs-2disk"].execution_time,
+        }
+        for ds in BIG_DATASETS
+    }
+    text += "\n\n" + speedup_table(
+        speedups,
+        {
+            "vs 1 disk": paper.TWO_DISK_SPEEDUP_VS_SINGLE,
+            "vs x-stream": paper.TWO_DISK_SPEEDUP_VS_XSTREAM,
+        },
+        "Two-disk FastBFS speedups (Fig. 10 headline numbers)",
+    )
+    emit("fig10_two_disks", text)
+
+    for ds in BIG_DATASETS:
+        assert speedups[ds]["vs 1 disk"] > 1.1, ds
+        assert paper.TWO_DISK_SPEEDUP_VS_XSTREAM.contains(
+            speedups[ds]["vs x-stream"], slack=SLACK
+        ), (ds, speedups[ds])

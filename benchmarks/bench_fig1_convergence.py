@@ -1,0 +1,45 @@
+"""Fig. 1 — BFS convergence: the useful-edge fraction shrinks per level.
+
+The paper's motivating figure shows 100% -> <88% -> <55% useful edges over
+the first levels of a toy traversal.  We regenerate the per-level profile
+on the benchmark graphs and check the same monotone collapse.
+"""
+
+from conftest import once
+
+from repro.algorithms.reference import level_profile
+from repro.analysis.tables import format_table
+from repro.graph.datasets import BIG_DATASETS
+
+
+def test_fig1_convergence(benchmark, runner, emit):
+    def profiles():
+        return {
+            ds: level_profile(runner.graph(ds), runner.root(ds))
+            for ds in BIG_DATASETS
+        }
+
+    profs = once(benchmark, profiles)
+    rows = []
+    for ds, prof in profs.items():
+        fractions = prof.useful_fraction
+        rows.append(
+            [ds, prof.depth]
+            + [f"{fractions[i]:.0%}" if i < len(fractions) else "-"
+               for i in range(8)]
+        )
+    text = format_table(
+        ["dataset", "depth"] + [f"L{i}" for i in range(8)],
+        rows,
+        title="Fig. 1: fraction of the edge list still useful entering each "
+              "BFS level",
+    )
+    emit("fig1_convergence", text)
+
+    for ds, prof in profs.items():
+        fractions = prof.useful_fraction
+        assert fractions[0] == 1.0
+        # The paper's collapse: under ~55% useful within the first 3 levels.
+        assert min(fractions[: min(4, len(fractions))]) < 0.55, ds
+        remaining = prof.remaining_edges
+        assert all(a >= b for a, b in zip(remaining, remaining[1:])), ds

@@ -1,0 +1,33 @@
+"""Fig. 6 — iowait time ratio.
+
+From the same runs as Fig. 4: fraction of execution time the engine spent
+blocked on the disk (the paper measured this with iostat).  Shape
+obligations: GraphChi's ratio is the lowest (it burns CPU on shard
+sorting/PSW management), FastBFS's is at least X-Stream's (it removes
+compute *and* I/O, and the leftover is I/O-dominated), and everything is
+I/O-bound (>50%).
+"""
+
+from conftest import once
+
+from repro.analysis.tables import comparison_table
+from repro.graph.datasets import BIG_DATASETS
+
+
+def test_fig6_iowait_ratio(benchmark, runner, emit):
+    def run_all():
+        return {ds: runner.compare(ds, "hdd") for ds in BIG_DATASETS}
+
+    rows = once(benchmark, run_all)
+    text = comparison_table(
+        rows, "iowait", "Fig. 6: iowait time ratio, single HDD"
+    )
+    emit("fig6_iowait", text)
+
+    for ds, per_engine in rows.items():
+        ratios = {name: row.iowait_ratio for name, row in per_engine.items()}
+        assert ratios["graphchi"] < ratios["x-stream"], ds
+        assert ratios["graphchi"] < ratios["fastbfs"], ds
+        assert ratios["fastbfs"] >= ratios["x-stream"] - 0.05, ds
+        # "Fig. 6 also illustrates the I/O-bounded nature of BFS".
+        assert all(r > 0.5 for r in ratios.values()), ds

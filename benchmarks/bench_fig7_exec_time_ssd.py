@@ -1,0 +1,64 @@
+"""Fig. 7 — execution time over SSD.
+
+Same comparison as Fig. 4 on the SATA2-SSD device model.  Shape
+obligations: everything speeds up but the ranking is unchanged; per-system
+SSD/HDD gains land near GraphChi 1.2-1.5x, X-Stream 1.7-1.9x, FastBFS
+1.8-2.1x; FastBFS-on-HDD is close to X-Stream-on-SSD.
+"""
+
+from conftest import once
+
+from repro.analysis import paper
+from repro.analysis.tables import comparison_table, format_table
+from repro.graph.datasets import BIG_DATASETS
+
+SLACK = 0.30
+
+
+def test_fig7_execution_time_ssd(benchmark, runner, emit):
+    def run_all():
+        return {ds: runner.compare(ds, "ssd") for ds in BIG_DATASETS}
+
+    rows = once(benchmark, run_all)
+    text = comparison_table(
+        rows, "time", "Fig. 7: BFS execution time, SATA2 SSD (simulated)"
+    )
+    gain_rows = []
+    for ds in BIG_DATASETS:
+        gains = {
+            name: (
+                runner.run(ds, name, "hdd").execution_time
+                / runner.run(ds, name, "ssd").execution_time
+            )
+            for name in ("graphchi", "x-stream", "fastbfs")
+        }
+        gain_rows.append([ds] + [f"{gains[n]:.2f}x" for n in gains])
+    gain_rows.append(["paper range", "1.2-1.5x", "1.7-1.9x", "1.8-2.1x"])
+    text += "\n\n" + format_table(
+        ["dataset", "graphchi", "x-stream", "fastbfs"],
+        gain_rows,
+        "SSD/HDD speedup per system",
+    )
+    emit("fig7_exec_time_ssd", text)
+
+    for ds, per_engine in rows.items():
+        times = {name: row.time for name, row in per_engine.items()}
+        assert times["fastbfs"] < times["x-stream"] < times["graphchi"], ds
+        assert paper.SSD_SPEEDUP_VS_XSTREAM.contains(
+            times["x-stream"] / times["fastbfs"], slack=SLACK
+        ), ds
+        assert paper.SSD_SPEEDUP_VS_GRAPHCHI.contains(
+            times["graphchi"] / times["fastbfs"], slack=SLACK
+        ), ds
+        for name, claim in paper.SSD_GAIN.items():
+            gain = (
+                runner.run(ds, name, "hdd").execution_time
+                / runner.run(ds, name, "ssd").execution_time
+            )
+            assert claim.contains(gain, slack=SLACK), (ds, name, gain)
+        # "FastBFS running on hard disk is close to X-Stream over SSD."
+        ratio = (
+            runner.run(ds, "fastbfs", "hdd").execution_time
+            / runner.run(ds, "x-stream", "ssd").execution_time
+        )
+        assert 0.5 <= ratio <= 1.6, (ds, ratio)

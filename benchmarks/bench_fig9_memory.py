@@ -1,0 +1,48 @@
+"""Fig. 9 — impact of the memory budget (rmat22, 256MB..4GB paper scale).
+
+Shape obligations: both engines are flat across 256MB-2GB (streaming makes
+them insensitive to RAM), and at 4GB the rmat22 working set fits in memory,
+switching on in-memory processing and dropping execution time sharply (the
+paper credits X-Stream's in-memory techniques; FastBFS inherits them).
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table
+from repro.utils.units import format_seconds
+
+BUDGETS = ("256MB", "512MB", "1GB", "2GB", "4GB")
+
+
+def test_fig9_memory_sweep(benchmark, runner, emit):
+    def run_all():
+        return {
+            engine: {
+                m: runner.run("rmat22", engine, memory=m)
+                for m in BUDGETS
+            }
+            for engine in ("x-stream", "fastbfs")
+        }
+
+    results = once(benchmark, run_all)
+    rows = [
+        [engine]
+        + [format_seconds(results[engine][m].execution_time) for m in BUDGETS]
+        for engine in results
+    ]
+    text = format_table(
+        ["engine"] + list(BUDGETS),
+        rows,
+        "Fig. 9: execution time vs working memory (paper scale), rmat22",
+    )
+    emit("fig9_memory", text)
+
+    for engine, per_mem in results.items():
+        times = {m: per_mem[m].execution_time for m in BUDGETS}
+        # Flat across the disk-based regime.
+        disk_times = [times[m] for m in BUDGETS[:-1]]
+        assert max(disk_times) / min(disk_times) < 1.5, engine
+        # The 4GB cliff: in-memory mode engaged and much faster.
+        assert per_mem["4GB"].extras["in_memory"] == 1.0, engine
+        assert per_mem["2GB"].extras["in_memory"] == 0.0, engine
+        assert times["4GB"] < 0.6 * times["2GB"], engine

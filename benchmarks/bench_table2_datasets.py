@@ -1,0 +1,24 @@
+"""Table II — experimental graphs: paper values vs regenerated stand-ins."""
+
+from conftest import once
+
+from repro.analysis import paper
+from repro.analysis.tables import datasets_table
+from repro.graph.datasets import DATASETS
+
+
+def test_table2_datasets(benchmark, runner, emit):
+    def build_all():
+        return {name: runner.graph(name) for name in DATASETS}
+
+    graphs = once(benchmark, build_all)
+    text = datasets_table(graphs)
+    emit("table2_datasets", text)
+
+    for name, row in paper.TABLE2.items():
+        g = graphs[name]
+        target_edges = row["edges"] / runner.divisor
+        # Whiskers add ~2%, generators round edge factors: allow 35%.
+        assert 0.65 * target_edges <= g.num_edges <= 1.35 * target_edges, name
+        target_vertices = row["vertices"] / runner.divisor
+        assert 0.5 * target_vertices <= g.num_vertices <= 2.5 * target_vertices, name

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tuning the trimming threshold (paper §II-C3).
+
+Eager trimming loses on slow-converging graphs: the frontier stays tiny,
+almost nothing is eliminated, and every iteration rewrites nearly the whole
+edge list.  "The easiest way to avoid this squander of resources is to
+start the graph trimming several iterations later, till the stay list
+shrinks to a relatively small proportion.  The threshold to trigger the
+trimming can be configured dynamically by parameters in FastBFS."
+
+This example sweeps the trigger fraction on two opposite workloads — a
+sharply-converging R-MAT graph and a high-diameter grid — and shows the
+threshold matters only where the paper says it does.
+
+Run:  python examples/trimming_tuning.py
+"""
+
+import numpy as np
+
+from repro import FastBFSEngine, grid_graph, rmat_graph
+from repro.analysis.calibration import scaled_fastbfs_config, scaled_machine
+from repro.analysis.tables import format_table
+from repro.utils.units import format_bytes, format_seconds
+
+DIVISOR = 1024
+TRIGGERS = [0.0, 0.02, 0.10, 0.30]
+
+
+def sweep(graph, root):
+    rows = []
+    for trigger in TRIGGERS:
+        machine = scaled_machine("4GB", divisor=DIVISOR)
+        engine = FastBFSEngine(
+            scaled_fastbfs_config(DIVISOR, trim_trigger_fraction=trigger)
+        )
+        result = engine.run(graph, machine, root=root)
+        rows.append([
+            f"{trigger:.0%}" if trigger else "always",
+            format_seconds(result.execution_time),
+            format_bytes(result.report.bytes_read),
+            format_bytes(result.report.bytes_written),
+            int(result.extras["stay_files_written"]),
+            int(result.extras["stay_cancellations"]),
+        ])
+    return rows
+
+
+def main() -> None:
+    headers = ["trigger", "time", "read", "written", "stay files", "cancels"]
+
+    rmat = rmat_graph(scale=14, edge_factor=16, seed=7)
+    root = int(np.argmax(rmat.out_degrees()))
+    print(format_table(
+        headers, sweep(rmat, root),
+        title=f"{rmat.name} (sharp convergence): eager trimming wins",
+    ))
+
+    grid = grid_graph(180, 180)
+    print()
+    print(format_table(
+        headers, sweep(grid, 0),
+        title="grid-180x180 (high diameter): the threshold avoids wasted "
+              "stay writes",
+    ))
+    print("\nOn the grid the frontier never exceeds a few hundred vertices, "
+          "so a non-zero trigger never fires and FastBFS skips the useless "
+          "rewrites entirely — exactly the paper's §II-C3 prescription.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+"""Scatter/gather algorithm kernels for the edge-centric engines.
+
+The engines (X-Stream, FastBFS) are generic BSP scatter/gather machines; an
+algorithm object supplies the per-edge and per-update semantics:
+
+* ``state`` — one structured-array record per vertex.  The ``active`` field
+  marks vertices updated in the previous gather (the current frontier); the
+  engine clears a partition's flags after scattering it.
+* ``scatter`` — given the active flags and an edge buffer, produce update
+  records and (optionally) the eliminate mask that drives FastBFS trimming.
+* ``gather`` — apply a partition's update stream, activating newly changed
+  vertices; returns how many were activated (global termination = zero
+  updates generated in a scatter pass).
+
+``supports_trimming`` is True only when "edge generated an update" implies
+"edge is useless forever" — true for BFS-like monotone visits (paper §II-C1:
+vertices are marked once and never revisited), false for label-correcting
+algorithms like WCC/weighted SSSP, where the engines fall back to plain
+streaming.  This is exactly the BFS-specific nature of the paper's
+optimization, kept explicit in the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.graph.types import NO_PARENT, UNVISITED, UPDATE_DTYPE
+
+
+@dataclass
+class AlgoContext:
+    """Per-iteration context handed to scatter/gather."""
+
+    iteration: int
+
+
+class StreamingAlgorithm:
+    """Base class; subclasses define state layout and kernels."""
+
+    name: str = "abstract"
+    #: True when update-generating edges can be eliminated (BFS pattern).
+    supports_trimming: bool = False
+    #: In-memory per-vertex record. Must contain an ``active`` u1 field.
+    state_dtype: np.dtype = np.dtype([("active", "u1")])
+    #: Bytes per vertex as charged for on-disk vertex-set I/O.
+    disk_record_bytes: int = 8
+
+    def init_state(self, num_vertices: int, roots) -> np.ndarray:
+        raise NotImplementedError
+
+    def scatter(
+        self,
+        ctx: AlgoContext,
+        state: np.ndarray,
+        src_local: np.ndarray,
+        src_global: np.ndarray,
+        dst_global: np.ndarray,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Return (updates, eliminate_mask or None) for one edge buffer."""
+        raise NotImplementedError
+
+    def gather(
+        self,
+        ctx: AlgoContext,
+        state: np.ndarray,
+        dst_local: np.ndarray,
+        payload: np.ndarray,
+    ) -> int:
+        """Apply updates to the partition state; return #newly activated."""
+        raise NotImplementedError
+
+    def after_gather(self, ctx: AlgoContext, state: np.ndarray) -> None:
+        """Called once per partition after its update stream is consumed
+        (and before that partition's next scatter).  Iterative numeric
+        algorithms (e.g. PageRank) finalize the round's values here; the
+        traversal algorithms need nothing."""
+
+    def result(self, state: np.ndarray) -> Dict[str, np.ndarray]:
+        """Extract the user-facing output arrays from the final state."""
+        raise NotImplementedError
+
+    def extended_eliminate(
+        self, state: np.ndarray, src_local: np.ndarray, base_mask: np.ndarray
+    ) -> np.ndarray:
+        """Widen the eliminate mask beyond the paper's generate=>eliminate rule.
+
+        Used by the ``extended_trim`` ablation; the default adds nothing.
+        """
+        return base_mask
+
+    def _check_roots(self, num_vertices: int, roots) -> np.ndarray:
+        roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
+        if len(roots) == 0:
+            raise EngineError(f"{self.name} needs at least one root vertex")
+        if roots.min() < 0 or roots.max() >= num_vertices:
+            raise EngineError(
+                f"root out of range [0, {num_vertices}): {roots.tolist()}"
+            )
+        return roots
+
+
+def _make_updates(dst: np.ndarray, payload: np.ndarray) -> np.ndarray:
+    updates = np.empty(len(dst), dtype=UPDATE_DTYPE)
+    updates["dst"] = dst
+    updates["payload"] = payload
+    return updates
+
+
+class BFSAlgorithm(StreamingAlgorithm):
+    """Breadth-first search: level + parent per vertex, visited exactly once.
+
+    Scatter: every out-edge of an active (just-visited) vertex emits an
+    update carrying the parent id, and — the FastBFS insight — is thereby
+    dead and eliminable.  Gather: the first update to reach an unvisited
+    vertex claims it at level ``iteration + 1``.
+    """
+
+    name = "bfs"
+    supports_trimming = True
+    state_dtype = np.dtype([("level", "<i4"), ("parent", "<u4"), ("active", "u1")])
+
+    def init_state(self, num_vertices: int, roots) -> np.ndarray:
+        roots = self._check_roots(num_vertices, roots)
+        state = np.zeros(num_vertices, dtype=self.state_dtype)
+        state["level"][:] = UNVISITED
+        state["parent"][:] = NO_PARENT
+        state["level"][roots] = 0
+        state["active"][roots] = 1
+        return state
+
+    def scatter(self, ctx, state, src_local, src_global, dst_global):
+        mask = state["active"][src_local] == 1
+        updates = _make_updates(dst_global[mask], src_global[mask])
+        return updates, mask
+
+    def gather(self, ctx, state, dst_local, payload) -> int:
+        fresh = state["level"][dst_local] == UNVISITED
+        if not fresh.any():
+            return 0
+        dst = dst_local[fresh]
+        parents = payload[fresh]
+        # First update to arrive wins (stream order), matching the paper's
+        # "marks the corresponding destination vertices as visited".
+        uniq, first_idx = np.unique(dst, return_index=True)
+        state["level"][uniq] = ctx.iteration + 1
+        state["parent"][uniq] = parents[first_idx]
+        state["active"][uniq] = 1
+        return len(uniq)
+
+    def result(self, state):
+        return {
+            "level": state["level"].copy(),
+            "parent": state["parent"].copy(),
+        }
+
+    def extended_eliminate(self, state, src_local, base_mask):
+        """Also drop edges whose source was visited in an *earlier* level.
+
+        Such edges already sent their updates (or entered the graph after
+        their source converged, e.g. when an earlier stay write was
+        cancelled) and can never contribute again.  Stricter than the
+        paper's rule; exercised by the trimming ablation bench.
+        """
+        return base_mask | (state["level"][src_local] != UNVISITED)
+
+
+class UnitSSSPAlgorithm(BFSAlgorithm):
+    """Single-source shortest paths with unit weights.
+
+    Identical traversal to BFS (hop counts *are* the distances); exposed as
+    its own algorithm because the paper positions BFS as the building block
+    for shortest-path computations, and it gives the engines' "more
+    traversal algorithms" future-work hook a second trimming-capable client.
+    """
+
+    name = "unit-sssp"
+
+    def result(self, state):
+        out = super().result(state)
+        out["distance"] = out.pop("level")
+        return out
+
+
+class WCCAlgorithm(StreamingAlgorithm):
+    """Weakly connected components by min-label propagation.
+
+    Label-correcting: a vertex may improve many times, so no edge is ever
+    provably useless and ``supports_trimming`` stays False — running this on
+    FastBFS exercises its graceful fallback to X-Stream behaviour.  Input
+    must contain both directions of each edge (``Graph.symmetrized``).
+    """
+
+    name = "wcc"
+    supports_trimming = False
+    state_dtype = np.dtype([("label", "<u4"), ("active", "u1")])
+
+    def init_state(self, num_vertices: int, roots=None) -> np.ndarray:
+        state = np.zeros(num_vertices, dtype=self.state_dtype)
+        state["label"][:] = np.arange(num_vertices, dtype=np.uint32)
+        state["active"][:] = 1  # every vertex broadcasts its label once
+        return state
+
+    def scatter(self, ctx, state, src_local, src_global, dst_global):
+        mask = state["active"][src_local] == 1
+        updates = _make_updates(dst_global[mask], state["label"][src_local][mask])
+        return updates, None
+
+    def gather(self, ctx, state, dst_local, payload) -> int:
+        before = state["label"][dst_local].copy()
+        np.minimum.at(state["label"], dst_local, payload)
+        improved_positions = state["label"][dst_local] < before
+        improved = np.unique(dst_local[improved_positions])
+        state["active"][improved] = 1
+        return len(improved)
+
+    def result(self, state):
+        return {"label": state["label"].copy()}

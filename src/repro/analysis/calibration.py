@@ -1,0 +1,123 @@
+"""Scale calibration: mapping the paper's test bed to the reproduction.
+
+**One divisor scales everything.**  The paper runs billion-edge graphs
+through multi-GB memory budgets on real disks.  The reproduction divides
+*datasets, memory budgets, stream buffer sizes and device seek times* by the
+same constant ``SCALE_DIVISOR`` (default 256, the dataset registry's
+default).  Why this preserves the paper's shape:
+
+* transfer time = bytes / bandwidth — scales by 1/D automatically when the
+  data scales;
+* seek count ≈ (bytes / buffer size) + per-partition stream switches — is
+  *invariant* when data and buffers scale together;
+* therefore seek time must scale by 1/D so the seek:transfer balance (and
+  with it the HDD-vs-SSD contrast and the single-disk read/write
+  interference FastBFS's second disk removes) stays at the paper's ratio;
+* memory budgets scale by 1/D so partition counts and the Fig. 9 in-memory
+  cliff land where the paper's do;
+* CPU cost constants are per-item rates and do not scale — compute:I/O
+  ratio is preserved because both totals scale by 1/D.
+
+Paper reference values mapped here:
+
+=====================  ==================  =====================
+quantity               paper               scaled (D=256)
+=====================  ==================  =====================
+working memory         4 GB                16 MB
+edge stream buffer     16 MB               64 KB
+update stream buffer   8 MB                32 KB
+stay stream buffer     8 MB                32 KB
+HDD seek               8.5 ms              33.2 us
+cancellation grace     ~1.3 s              5 ms
+=====================  ==================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+from repro.core.config import FastBFSConfig
+from repro.engines.base import EngineConfig
+from repro.engines.graphchi import GraphChiConfig
+from repro.errors import ConfigError
+from repro.storage.device import DeviceSpec
+from repro.storage.machine import Machine
+from repro.utils.units import MB, parse_bytes
+
+#: The one divisor. Must match the dataset registry's divisor for runs to be
+#: internally consistent (``repro.graph.datasets.scale_divisor``).
+SCALE_DIVISOR = 256
+
+#: Paper buffer sizes (before scaling).
+PAPER_EDGE_BUFFER = 16 * MB
+PAPER_UPDATE_BUFFER = 8 * MB
+PAPER_STAY_BUFFER = 8 * MB
+
+
+def scaled_bytes(paper_value: Union[int, str], divisor: int = SCALE_DIVISOR) -> int:
+    """Scale a paper-quoted byte count down to reproduction scale."""
+    return max(1, parse_bytes(paper_value) // divisor)
+
+
+def scaled_device(kind: str, name: str, divisor: int = SCALE_DIVISOR) -> DeviceSpec:
+    """A device preset with seek time scaled to the reproduction."""
+    if kind == "hdd":
+        spec = DeviceSpec.hdd(name)
+    elif kind == "ssd":
+        spec = DeviceSpec.ssd(name)
+    else:
+        raise ConfigError(f"unknown device kind {kind!r}")
+    return replace(spec, seek_time=spec.seek_time / divisor)
+
+
+def scaled_machine(
+    memory: Union[int, str] = "4GB",
+    cores: int = 4,
+    num_disks: int = 1,
+    disk_kind: str = "hdd",
+    divisor: int = SCALE_DIVISOR,
+    trace: bool = False,
+) -> Machine:
+    """The paper's test bed at reproduction scale.
+
+    ``memory`` is quoted at *paper* scale ("4GB", "256MB", ...) and divided
+    by the divisor; disks get scaled seek times.  ``trace=True`` keeps the
+    full request trace for Gantt rendering.
+    """
+    specs = [scaled_device(disk_kind, f"{disk_kind}{i}", divisor) for i in range(num_disks)]
+    return Machine(
+        specs, memory=scaled_bytes(memory, divisor), cores=cores, trace=trace
+    )
+
+
+def scaled_engine_config(
+    divisor: int = SCALE_DIVISOR, **overrides
+) -> EngineConfig:
+    """X-Stream config with paper buffer sizes scaled down."""
+    base = dict(
+        edge_buffer_bytes=scaled_bytes(PAPER_EDGE_BUFFER, divisor),
+        update_buffer_bytes=scaled_bytes(PAPER_UPDATE_BUFFER, divisor),
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def scaled_fastbfs_config(
+    divisor: int = SCALE_DIVISOR, **overrides
+) -> FastBFSConfig:
+    """FastBFS config with paper buffer sizes scaled down."""
+    base = dict(
+        edge_buffer_bytes=scaled_bytes(PAPER_EDGE_BUFFER, divisor),
+        update_buffer_bytes=scaled_bytes(PAPER_UPDATE_BUFFER, divisor),
+        stay_buffer_bytes=scaled_bytes(PAPER_STAY_BUFFER, divisor),
+    )
+    base.update(overrides)
+    return FastBFSConfig(**base)
+
+
+def scaled_graphchi_config(
+    divisor: int = SCALE_DIVISOR, **overrides
+) -> GraphChiConfig:
+    """GraphChi config (record sizes are per-item; nothing to scale)."""
+    return GraphChiConfig(**overrides)

@@ -1,0 +1,97 @@
+"""Machine-readable export of experiment results.
+
+The table renderers produce human-readable text; downstream plotting
+(matplotlib, gnuplot, a spreadsheet) wants rows.  This module flattens
+:class:`EngineResult` objects into plain dicts and writes JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Union
+
+from repro.engines.result import EngineResult
+from repro.errors import ConfigError
+
+
+def result_to_record(
+    result: EngineResult, **context
+) -> Dict[str, object]:
+    """Flatten one engine run into a JSON/CSV-safe dict.
+
+    ``context`` adds experiment coordinates (dataset=, disk_kind=, ...).
+    """
+    record: Dict[str, object] = dict(context)
+    record.update(
+        {
+            "engine": result.engine,
+            "algorithm": result.algorithm,
+            "graph": result.graph_name,
+            "execution_time_s": result.execution_time,
+            "compute_time_s": result.report.compute_time,
+            "iowait_time_s": result.report.iowait_time,
+            "iowait_ratio": result.report.iowait_ratio,
+            "bytes_read": result.report.bytes_read,
+            "bytes_written": result.report.bytes_written,
+            "iterations": result.num_iterations,
+            "edges_scanned": result.edges_scanned,
+            "updates_generated": result.updates_generated,
+        }
+    )
+    for key, value in sorted(result.extras.items()):
+        record[f"extra_{key}"] = value
+    return record
+
+
+def iteration_records(
+    result: EngineResult, **context
+) -> List[Dict[str, object]]:
+    """One record per scatter iteration (for per-level plots)."""
+    rows = []
+    for it in result.iterations:
+        row: Dict[str, object] = dict(context)
+        row.update(
+            {
+                "engine": result.engine,
+                "graph": result.graph_name,
+                "iteration": it.iteration,
+                "edges_scanned": it.edges_scanned,
+                "updates_generated": it.updates_generated,
+                "activated": it.activated,
+                "partitions_processed": it.partitions_processed,
+                "partitions_skipped": it.partitions_skipped,
+                "stay_records_written": it.stay_records_written,
+                "stay_swaps": it.stay_swaps,
+                "stay_cancellations": it.stay_cancellations,
+                "clock_end_s": it.clock_end,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def write_json(
+    records: Iterable[Mapping[str, object]],
+    path: Union[str, os.PathLike],
+) -> None:
+    """Write records as a JSON array."""
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        json.dump(list(records), fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+
+
+def write_csv(
+    records: Iterable[Mapping[str, object]],
+    path: Union[str, os.PathLike],
+) -> None:
+    """Write records as CSV (union of keys, sorted, missing cells empty)."""
+    records = [dict(r) for r in records]
+    if not records:
+        raise ConfigError("no records to export")
+    fields = sorted({key for r in records for key in r})
+    with open(os.fspath(path), "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, restval="")
+        writer.writeheader()
+        writer.writerows(records)

@@ -1,0 +1,201 @@
+"""Programmatic reproduction report.
+
+`build_report` runs (or reuses) the experiments behind every figure of the
+paper's evaluation through one :class:`ExperimentRunner` and renders a
+single markdown document with measured-vs-paper values — the automated
+counterpart of EXPERIMENTS.md, exposed on the CLI as ``fastbfs reproduce``.
+
+For quick runs restrict ``figures`` and/or raise the runner's divisor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis import paper
+from repro.analysis.harness import ExperimentRunner
+from repro.analysis.tables import (
+    comparison_table,
+    datasets_table,
+    format_table,
+    representation_table,
+    speedup_table,
+)
+from repro.errors import ConfigError
+from repro.graph.datasets import BIG_DATASETS, DATASETS
+from repro.utils.units import format_seconds
+
+ALL_FIGURES = (
+    "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "fig10",
+    "fig8", "fig9",
+)
+
+
+def build_report(
+    runner: Optional[ExperimentRunner] = None,
+    figures: Iterable[str] = ALL_FIGURES,
+    datasets: Optional[List[str]] = None,
+) -> str:
+    """Render the reproduction report as markdown."""
+    runner = runner if runner is not None else ExperimentRunner()
+    datasets = datasets if datasets is not None else list(BIG_DATASETS)
+    figures = list(figures)
+    unknown = set(figures) - set(ALL_FIGURES)
+    if unknown:
+        raise ConfigError(f"unknown figures {sorted(unknown)}; "
+                          f"options: {ALL_FIGURES}")
+    sections: List[str] = [
+        "# FastBFS reproduction report",
+        f"scale divisor: {runner.divisor}  |  datasets: {', '.join(datasets)}",
+    ]
+    builders = {
+        "table1": _table1,
+        "table2": _table2,
+        "fig1": _fig1,
+        "fig4": _fig4,
+        "fig5": _fig5,
+        "fig6": _fig6,
+        "fig7": _fig7,
+        "fig8": _fig8,
+        "fig9": _fig9,
+        "fig10": _fig10,
+    }
+    for fig in figures:
+        sections.append(_block(builders[fig](runner, datasets)))
+    return "\n\n".join(sections) + "\n"
+
+
+def _block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def _table1(runner, datasets) -> str:
+    return representation_table()
+
+
+def _table2(runner, datasets) -> str:
+    graphs = {name: runner.graph(name) for name in DATASETS}
+    return datasets_table(graphs)
+
+
+def _fig1(runner, datasets) -> str:
+    from repro.algorithms.reference import level_profile
+
+    rows = []
+    for ds in datasets:
+        prof = level_profile(runner.graph(ds), runner.root(ds))
+        fractions = prof.useful_fraction
+        rows.append(
+            [ds, prof.depth]
+            + [f"{fractions[i]:.0%}" if i < len(fractions) else "-"
+               for i in range(6)]
+        )
+    return format_table(
+        ["dataset", "depth"] + [f"L{i}" for i in range(6)],
+        rows,
+        title="Fig. 1: useful-edge fraction entering each BFS level",
+    )
+
+
+def _hdd_rows(runner, datasets):
+    return {ds: runner.compare(ds, "hdd") for ds in datasets}
+
+
+def _fig4(runner, datasets) -> str:
+    rows = _hdd_rows(runner, datasets)
+    text = comparison_table(rows, "time", "Fig. 4: execution time, HDD")
+    speedups = {
+        ds: {
+            "vs x-stream": runner.speedup(ds, "x-stream", "fastbfs"),
+            "vs graphchi": runner.speedup(ds, "graphchi", "fastbfs"),
+        }
+        for ds in datasets
+    }
+    return text + "\n\n" + speedup_table(
+        speedups,
+        {
+            "vs x-stream": paper.HDD_SPEEDUP_VS_XSTREAM,
+            "vs graphchi": paper.HDD_SPEEDUP_VS_GRAPHCHI,
+        },
+        "FastBFS speedups vs paper ranges",
+    )
+
+
+def _fig5(runner, datasets) -> str:
+    rows = _hdd_rows(runner, datasets)
+    text = comparison_table(rows, "input", "Fig. 5: input data amount")
+    reduction = [
+        [ds, f"{runner.input_reduction(ds):.1%}",
+         f"{runner.total_reduction(ds):.1%}"]
+        for ds in datasets
+    ]
+    reduction.append(["paper range", "65.2%-78.1%", "47.7%-60.4%"])
+    return text + "\n\n" + format_table(
+        ["dataset", "input reduction", "overall reduction"], reduction,
+        "FastBFS data reductions",
+    )
+
+
+def _fig6(runner, datasets) -> str:
+    return comparison_table(
+        _hdd_rows(runner, datasets), "iowait", "Fig. 6: iowait time ratio"
+    )
+
+
+def _fig7(runner, datasets) -> str:
+    rows = {ds: runner.compare(ds, "ssd") for ds in datasets}
+    return comparison_table(rows, "time", "Fig. 7: execution time, SSD")
+
+
+def _fig8(runner, datasets) -> str:
+    threads = (1, 2, 4, 8)
+    rows = [
+        [engine] + [
+            format_seconds(
+                runner.run("rmat22", engine, threads=t, memory="2GB")
+                .execution_time
+            )
+            for t in threads
+        ]
+        for engine in ("x-stream", "fastbfs")
+    ]
+    return format_table(
+        ["engine"] + [f"{t}t" for t in threads], rows,
+        "Fig. 8: thread sweep, rmat22 (disk-based)",
+    )
+
+
+def _fig9(runner, datasets) -> str:
+    budgets = ("256MB", "512MB", "1GB", "2GB", "4GB")
+    rows = [
+        [engine] + [
+            format_seconds(
+                runner.run("rmat22", engine, memory=m).execution_time
+            )
+            for m in budgets
+        ]
+        for engine in ("x-stream", "fastbfs")
+    ]
+    return format_table(
+        ["engine"] + list(budgets), rows,
+        "Fig. 9: memory sweep, rmat22 (in-memory cliff at 4GB)",
+    )
+
+
+def _fig10(runner, datasets) -> str:
+    rows = []
+    for ds in datasets:
+        xs = runner.run(ds, "x-stream", "hdd").execution_time
+        one = runner.run(ds, "fastbfs", "hdd").execution_time
+        two = runner.run(ds, "fastbfs-2disk", "hdd", num_disks=2).execution_time
+        rows.append([
+            ds, format_seconds(xs), format_seconds(one), format_seconds(two),
+            f"{one / two:.2f}x", f"{xs / two:.2f}x",
+        ])
+    rows.append(["paper range", "-", "-", "-", "1.6-1.7x", "2.5-3.6x"])
+    return format_table(
+        ["dataset", "x-stream", "fastbfs 1d", "fastbfs 2d",
+         "2d vs 1d", "2d vs xs"],
+        rows,
+        "Fig. 10: two-disk parallel I/O",
+    )

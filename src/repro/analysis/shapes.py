@@ -1,0 +1,177 @@
+"""Executable shape claims.
+
+``repro.analysis.paper.SHAPE_CLAIMS`` lists the paper's qualitative claims
+as prose; this module makes each one *runnable*: a named check that takes
+the shared :class:`ExperimentRunner` and returns pass/fail with the
+measured evidence.  ``check_all`` produces the EXPERIMENTS.md scoreboard
+programmatically, and the test suite asserts every check passes at a small
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import paper
+from repro.analysis.harness import ExperimentRunner
+from repro.analysis.tables import format_table
+from repro.graph.datasets import BIG_DATASETS
+
+
+@dataclass
+class ShapeResult:
+    """Outcome of one executable claim."""
+
+    figure: str
+    claim: str
+    passed: bool
+    evidence: str
+
+
+_CHECKS: List = []
+
+
+def _check(figure: str, claim: str):
+    def register(fn: Callable[[ExperimentRunner, List[str]], ShapeResult]):
+        def wrapper(runner, datasets):
+            passed, evidence = fn(runner, datasets)
+            return ShapeResult(figure, claim, passed, evidence)
+
+        _CHECKS.append(wrapper)
+        return wrapper
+
+    return register
+
+
+def _times(runner, ds, disk="hdd"):
+    return {
+        name: runner.run(ds, name, disk).execution_time
+        for name in ("graphchi", "x-stream", "fastbfs")
+    }
+
+
+@_check("fig4", "FastBFS fastest on every dataset (HDD)")
+def _fastest(runner, datasets):
+    worst = ""
+    for ds in datasets:
+        t = _times(runner, ds)
+        if not (t["fastbfs"] < t["x-stream"] and t["fastbfs"] < t["graphchi"]):
+            return False, f"{ds}: {t}"
+        worst += f"{ds} ok; "
+    return True, worst.strip()
+
+
+@_check("fig4", "GraphChi slowest on every dataset (HDD)")
+def _graphchi_slowest(runner, datasets):
+    for ds in datasets:
+        t = _times(runner, ds)
+        if t["graphchi"] < max(t.values()):
+            return False, f"{ds}: {t}"
+    return True, "all datasets"
+
+
+@_check("fig5", "FastBFS reads the least input data")
+def _least_input(runner, datasets):
+    for ds in datasets:
+        reads = {
+            name: runner.run(ds, name, "hdd").report.bytes_read
+            for name in ("graphchi", "x-stream", "fastbfs")
+        }
+        if reads["fastbfs"] != min(reads.values()):
+            return False, f"{ds}: {reads}"
+    return True, "all datasets"
+
+
+@_check("fig5", "input reduction vs X-Stream is substantial (>50%)")
+def _input_reduction(runner, datasets):
+    values = {ds: runner.input_reduction(ds) for ds in datasets}
+    ok = all(v > 0.5 for v in values.values())
+    return ok, ", ".join(f"{ds}={v:.0%}" for ds, v in values.items())
+
+
+@_check("fig6", "GraphChi iowait ratio below the streaming engines'")
+def _iowait_order(runner, datasets):
+    for ds in datasets:
+        ratios = {
+            name: runner.run(ds, name, "hdd").report.iowait_ratio
+            for name in ("graphchi", "x-stream", "fastbfs")
+        }
+        if not (ratios["graphchi"] < ratios["x-stream"]
+                and ratios["graphchi"] < ratios["fastbfs"]):
+            return False, f"{ds}: {ratios}"
+    return True, "all datasets"
+
+
+@_check("fig7", "SSD is faster than HDD for all three systems")
+def _ssd_faster(runner, datasets):
+    ds = datasets[0]
+    hdd, ssd = _times(runner, ds, "hdd"), _times(runner, ds, "ssd")
+    ok = all(ssd[n] < hdd[n] for n in hdd)
+    return ok, f"{ds}: gains " + ", ".join(
+        f"{n}={hdd[n]/ssd[n]:.2f}x" for n in hdd
+    )
+
+
+@_check("fig8", "thread count does not help (I/O bound)")
+def _threads_flat(runner, datasets):
+    times = {
+        t: runner.run("rmat22", "x-stream", threads=t, memory="2GB")
+        .execution_time
+        for t in (1, 4)
+    }
+    ratio = times[4] / times[1]
+    return 0.8 <= ratio <= 1.2, f"t4/t1 = {ratio:.2f}"
+
+
+@_check("fig8", "threads beyond core count degrade performance")
+def _oversubscribe(runner, datasets):
+    t4 = runner.run("rmat22", "fastbfs", threads=4, memory="2GB").execution_time
+    t8 = runner.run("rmat22", "fastbfs", threads=8, memory="2GB").execution_time
+    return t8 > t4, f"t8/t4 = {t8/t4:.3f}"
+
+
+@_check("fig9", "4GB engages in-memory mode with a sharp drop")
+def _memory_cliff(runner, datasets):
+    t2 = runner.run("rmat22", "x-stream", memory="2GB")
+    t4 = runner.run("rmat22", "x-stream", memory="4GB")
+    ok = (
+        t4.extras["in_memory"] == 1.0
+        and t2.extras["in_memory"] == 0.0
+        and t4.execution_time < 0.6 * t2.execution_time
+    )
+    return ok, (
+        f"2GB={t2.execution_time:.3f}s (disk), "
+        f"4GB={t4.execution_time:.3f}s (ram)"
+    )
+
+
+@_check("fig10", "two disks beat one disk which beats X-Stream")
+def _two_disks(runner, datasets):
+    ds = datasets[0]
+    xs = runner.run(ds, "x-stream", "hdd").execution_time
+    one = runner.run(ds, "fastbfs", "hdd").execution_time
+    two = runner.run(ds, "fastbfs-2disk", "hdd", num_disks=2).execution_time
+    return two < one < xs, f"{ds}: xs={xs:.3f}s 1d={one:.3f}s 2d={two:.3f}s"
+
+
+def check_all(
+    runner: Optional[ExperimentRunner] = None,
+    datasets: Optional[List[str]] = None,
+) -> List[ShapeResult]:
+    """Run every executable shape claim; returns one result per claim."""
+    runner = runner if runner is not None else ExperimentRunner()
+    datasets = datasets if datasets is not None else list(BIG_DATASETS)
+    return [check(runner, datasets) for check in _CHECKS]
+
+
+def scoreboard(results: List[ShapeResult]) -> str:
+    """Render shape-check results as the EXPERIMENTS.md-style table."""
+    rows = [
+        [r.figure, r.claim, "PASS" if r.passed else "FAIL", r.evidence]
+        for r in results
+    ]
+    return format_table(
+        ["figure", "claim", "verdict", "evidence"], rows,
+        title="Executable shape claims",
+    )

@@ -1,0 +1,129 @@
+"""Text renderers for the paper's tables and figure data.
+
+Benchmarks print through these so ``pytest benchmarks/ --benchmark-only``
+regenerates every table/figure as aligned text, with the paper's claimed
+values alongside the measured ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis import paper
+from repro.analysis.harness import ComparisonRow
+from repro.graph.datasets import DATASETS
+from repro.graph.graph import Graph
+from repro.utils.units import format_bytes, format_seconds
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Align columns; floats get 3 significant digits."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3g}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def representation_table() -> str:
+    """Table I: graph representation comparison (structural, from the text)."""
+    return format_table(
+        ["System", "Vertex", "Edge", "Intermediate"],
+        [
+            ["GraphChi", "vertex sets", "in-edge sets", "-"],
+            ["X-Stream", "vertex sets", "out-edge sets", "update files"],
+            ["FastBFS", "vertex sets", "out-edge sets", "update files, stay files"],
+        ],
+        title="Table I. Graph representation comparison",
+    )
+
+
+def datasets_table(graphs: Dict[str, Graph]) -> str:
+    """Table II: paper datasets vs the regenerated scaled stand-ins."""
+    rows: List[List[object]] = []
+    for name, spec in DATASETS.items():
+        g = graphs.get(name)
+        rows.append(
+            [
+                name,
+                f"{spec.paper_vertices/1e6:.1f}M",
+                f"{spec.paper_edges/1e6:.1f}M",
+                format_bytes(spec.paper_size_bytes),
+                f"{g.num_vertices:,}" if g else "-",
+                f"{g.num_edges:,}" if g else "-",
+                format_bytes(g.nbytes) if g else "-",
+                g.meta.get("scale_divisor", "-") if g else "-",
+            ]
+        )
+    return format_table(
+        [
+            "Graph", "paper V", "paper E", "paper size",
+            "repro V", "repro E", "repro size", "divisor",
+        ],
+        rows,
+        title="Table II. Experimental graphs (paper vs scaled stand-in)",
+    )
+
+
+def comparison_table(
+    rows_by_dataset: Dict[str, Dict[str, ComparisonRow]],
+    metric: str,
+    title: str,
+) -> str:
+    """Datasets x engines matrix of one metric.
+
+    ``metric`` is one of ``time``, ``input``, ``total``, ``iowait``.
+    """
+    getters = {
+        "time": lambda r: format_seconds(r.time),
+        "input": lambda r: format_bytes(r.input_bytes),
+        "total": lambda r: format_bytes(r.total_bytes),
+        "iowait": lambda r: f"{r.iowait_ratio:.1%}",
+    }
+    get = getters[metric]
+    engines: List[str] = []
+    for per_engine in rows_by_dataset.values():
+        for e in per_engine:
+            if e not in engines:
+                engines.append(e)
+    table_rows = []
+    for dataset, per_engine in rows_by_dataset.items():
+        table_rows.append(
+            [dataset] + [get(per_engine[e]) if e in per_engine else "-" for e in engines]
+        )
+    return format_table(["dataset"] + engines, table_rows, title=title)
+
+
+def speedup_table(
+    speedups: Dict[str, Dict[str, float]],
+    claims: Dict[str, paper.Claim],
+    title: str,
+) -> str:
+    """Per-dataset speedups with the paper's claimed range per column."""
+    columns = list(next(iter(speedups.values())).keys()) if speedups else []
+    rows = []
+    for dataset, per_col in speedups.items():
+        rows.append([dataset] + [f"{per_col[c]:.2f}x" for c in columns])
+    claim_row = ["paper range"]
+    for c in columns:
+        claim = claims.get(c)
+        claim_row.append(f"{claim.low:.1f}-{claim.high:.1f}x" if claim else "-")
+    rows.append(claim_row)
+    return format_table(["dataset"] + columns, rows, title=title)

@@ -1,0 +1,57 @@
+"""One-call convenience front-end.
+
+:func:`run_bfs` wires together a dataset, a machine and an engine with
+sensible defaults — the examples and the CLI go through it, and it is the
+quickest way to reproduce a single data point of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.config import FastBFSConfig
+from repro.core.engine import FastBFSEngine
+from repro.engines.base import EngineConfig
+from repro.engines.graphchi import GraphChiConfig, GraphChiEngine
+from repro.engines.result import EngineResult
+from repro.engines.xstream import XStreamEngine
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.storage.machine import Machine
+
+ENGINES = ("fastbfs", "x-stream", "graphchi")
+
+
+def make_engine(name: str, config=None):
+    """Instantiate an engine by name ('fastbfs', 'x-stream', 'graphchi')."""
+    if name in ("fastbfs", "fast-bfs"):
+        return FastBFSEngine(config)
+    if name in ("x-stream", "xstream"):
+        return XStreamEngine(config)
+    if name == "graphchi":
+        return GraphChiEngine(config)
+    raise ConfigError(f"unknown engine {name!r}; options: {ENGINES}")
+
+
+def run_bfs(
+    graph: Graph,
+    engine: Union[str, object] = "fastbfs",
+    machine: Optional[Machine] = None,
+    root: int = 0,
+    config=None,
+    **machine_kwargs,
+) -> EngineResult:
+    """Run BFS on ``graph`` with the named engine and return its result.
+
+    A fresh 4GB/4-core single-HDD commodity server is built unless
+    ``machine`` is given; extra keyword arguments (``memory=``, ``cores=``,
+    ``num_disks=``, ``disk_kind=``) configure that default machine.
+    """
+    if machine is None:
+        machine = Machine.commodity_server(**machine_kwargs)
+    elif machine_kwargs:
+        raise ConfigError("pass either a machine or machine kwargs, not both")
+    eng = make_engine(engine, config) if isinstance(engine, str) else engine
+    if isinstance(eng, GraphChiEngine):
+        return eng.run(graph, machine, root=root)
+    return eng.run(graph, machine, root=root)

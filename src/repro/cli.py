@@ -1,0 +1,407 @@
+"""Command-line interface: ``fastbfs`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``generate`` — build a synthetic graph (rmat/powerlaw/random/grid or a
+  Table II dataset stand-in) and write it as a binary edge list + config;
+* ``run`` — run BFS (or WCC) on a graph file or named dataset with a chosen
+  engine and simulated machine, printing the execution report;
+* ``compare`` — run all three engines on one input and print the
+  paper-style comparison (time / input data / iowait / speedups);
+* ``profile`` — print the per-level convergence profile (Fig. 1 data);
+* ``datasets`` — list the Table II registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.reference import level_profile
+from repro.algorithms.streaming import WCCAlgorithm
+from repro.algorithms.validation import teps, validate_bfs_result
+from repro.analysis.calibration import (
+    scaled_engine_config,
+    scaled_fastbfs_config,
+    scaled_graphchi_config,
+    scaled_machine,
+)
+from repro.analysis.harness import default_root
+from repro.analysis.tables import format_table
+from repro.api import ENGINES, make_engine
+from repro.errors import ReproError
+from repro.graph.datasets import DATASETS, build_dataset
+from repro.graph.generators import (
+    grid_graph,
+    powerlaw_graph,
+    random_graph,
+    rmat_graph,
+)
+from repro.graph.io import load_graph, save_graph
+from repro.utils.units import format_bytes, format_seconds
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastbfs",
+        description="FastBFS (IPDPS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph file")
+    gen.add_argument("kind", choices=["rmat", "powerlaw", "random", "grid", "dataset"])
+    gen.add_argument("output", help="output path (binary edge list)")
+    gen.add_argument("--scale", type=int, default=14, help="rmat scale")
+    gen.add_argument("--edge-factor", type=int, default=16)
+    gen.add_argument("--vertices", type=int, default=1 << 16)
+    gen.add_argument("--edges", type=int, default=1 << 20)
+    gen.add_argument("--width", type=int, default=256)
+    gen.add_argument("--height", type=int, default=256)
+    gen.add_argument("--dataset", choices=sorted(DATASETS), default="rmat22")
+    gen.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run an engine on a graph")
+    _add_input_args(run)
+    run.add_argument("--engine", choices=list(ENGINES), default="fastbfs")
+    run.add_argument("--algorithm", choices=["bfs", "wcc", "sssp"],
+                     default="bfs")
+    run.add_argument("--max-weight", type=int, default=8,
+                     help="sssp: synthetic edge weights in [1, max]")
+    run.add_argument("--root", type=int, default=None,
+                     help="BFS root (default: highest-out-degree vertex)")
+    run.add_argument("--validate", action="store_true",
+                     help="validate the BFS tree against the in-memory reference")
+    run.add_argument("--verbose", action="store_true",
+                     help="print the per-iteration breakdown")
+    _add_machine_args(run)
+
+    cmp_ = sub.add_parser("compare", help="compare all engines on one graph")
+    _add_input_args(cmp_)
+    cmp_.add_argument("--root", type=int, default=None)
+    _add_machine_args(cmp_)
+
+    prof = sub.add_parser("profile", help="print the BFS convergence profile")
+    _add_input_args(prof)
+    prof.add_argument("--root", type=int, default=None)
+
+    sub.add_parser("datasets", help="list the Table II dataset registry")
+
+    gantt = sub.add_parser(
+        "gantt",
+        help="run one BFS with request tracing and draw the device Gantt",
+    )
+    _add_input_args(gantt)
+    gantt.add_argument("--engine", choices=list(ENGINES), default="fastbfs")
+    gantt.add_argument("--root", type=int, default=None)
+    gantt.add_argument("--width", type=int, default=100)
+    _add_machine_args(gantt)
+
+    shapes = sub.add_parser(
+        "shapes",
+        help="run the executable shape claims (the EXPERIMENTS scoreboard)",
+    )
+    shapes.add_argument("--divisor", type=int, default=1024,
+                        help="scale divisor (default 1024 for speed)")
+    shapes.add_argument("--datasets", nargs="*", default=["rmat25"])
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="run the paper's experiments and write a markdown report",
+    )
+    rep.add_argument("--figures", nargs="*", default=None,
+                     help="subset, e.g. fig4 fig5 (default: all)")
+    rep.add_argument("--datasets", nargs="*", default=None,
+                     help="subset of the big datasets (default: all four)")
+    rep.add_argument("--divisor", type=int, default=None,
+                     help="scale divisor override (default: env or 256)")
+    rep.add_argument("--output", default=None,
+                     help="write the report here (default: stdout)")
+    return parser
+
+
+def _add_input_args(p: argparse.ArgumentParser) -> None:
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--graph", help="path to a binary edge-list file")
+    group.add_argument("--dataset", choices=sorted(DATASETS),
+                       help="Table II dataset stand-in")
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--memory", default="4GB",
+                   help="paper-scale memory budget (scaled by the divisor)")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--disks", type=int, default=1)
+    p.add_argument("--disk-kind", choices=["hdd", "ssd"], default="hdd")
+    p.add_argument("--threads", type=int, default=4)
+
+
+def _load_input(args) -> "Graph":
+    if args.graph:
+        return load_graph(args.graph)
+    return build_dataset(args.dataset, seed=args.seed)
+
+
+def _machine(args):
+    return scaled_machine(
+        memory=args.memory,
+        cores=args.cores,
+        num_disks=args.disks,
+        disk_kind=args.disk_kind,
+    )
+
+
+def _engine(name: str, args):
+    if name == "graphchi":
+        return make_engine(name, scaled_graphchi_config(threads=args.threads))
+    if name == "fastbfs":
+        return make_engine(name, scaled_fastbfs_config(threads=args.threads))
+    return make_engine(name, scaled_engine_config(threads=args.threads))
+
+
+def _root(args, graph) -> int:
+    return args.root if args.root is not None else default_root(graph)
+
+
+def cmd_generate(args) -> int:
+    if args.kind == "rmat":
+        g = rmat_graph(scale=args.scale, edge_factor=args.edge_factor,
+                       seed=args.seed)
+    elif args.kind == "powerlaw":
+        g = powerlaw_graph(args.vertices, args.edges, out_exponent=2.0,
+                           seed=args.seed)
+    elif args.kind == "random":
+        g = random_graph(args.vertices, args.edges, seed=args.seed)
+    elif args.kind == "grid":
+        g = grid_graph(args.width, args.height)
+    else:
+        g = build_dataset(args.dataset, seed=args.seed)
+    save_graph(g, args.output)
+    print(f"wrote {g!r} -> {args.output} (+ .json config)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = _load_input(args)
+    machine = _machine(args)
+    engine = _engine(args.engine, args)
+    if args.algorithm in ("wcc", "sssp"):
+        if args.engine == "graphchi" and args.algorithm == "sssp":
+            print("error: the GraphChi baseline implements bfs and wcc only",
+                  file=sys.stderr)
+            return 2
+        if args.algorithm == "wcc":
+            if args.engine == "graphchi":
+                result = engine.run(graph, machine, algorithm="wcc")
+            else:
+                result = engine.run(
+                    graph, machine, algorithm=WCCAlgorithm(), root=0
+                )
+            labels = result.output["label"]
+            print(result.summary())
+            print(f"components: {len(np.unique(labels)):,}")
+            return 0
+        from repro.algorithms.sssp import (
+            UNREACHED,
+            WeightedSSSPAlgorithm,
+            hash_weights,
+        )
+
+        root = _root(args, graph)
+        result = engine.run(
+            graph, machine,
+            algorithm=WeightedSSSPAlgorithm(hash_weights(args.max_weight)),
+            root=root,
+        )
+        dist = result.output["distance"]
+        reached = dist != UNREACHED
+        print(result.summary())
+        print(f"root: {root}  reached: {int(reached.sum()):,}  "
+              f"max distance: {int(dist[reached].max()) if reached.any() else 0}")
+        return 0
+    root = _root(args, graph)
+    result = engine.run(graph, machine, root=root)
+    print(result.summary())
+    print(f"root: {root}  visited: {(result.levels >= 0).sum():,} "
+          f"of {graph.num_vertices:,}  depth: {result.levels.max()}")
+    print(f"TEPS: {teps(graph, result.levels, result.execution_time):,.0f}")
+    if args.verbose:
+        print()
+        print(result.iteration_table())
+    if args.validate:
+        from repro.algorithms.reference import bfs_levels
+
+        report = validate_bfs_result(
+            graph, root, result.levels, result.parents, bfs_levels(graph, root)
+        )
+        if report.ok:
+            print("validation: OK (Graph500 rules + reference levels)")
+        else:
+            print(f"validation: FAILED — {report.errors}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _load_input(args)
+    root = _root(args, graph)
+    rows: List[List[object]] = []
+    times = {}
+    for name in ("graphchi", "x-stream", "fastbfs"):
+        machine = _machine(args)
+        engine = _engine(name, args)
+        result = engine.run(graph, machine, root=root)
+        times[name] = result.execution_time
+        rows.append(
+            [
+                name,
+                format_seconds(result.execution_time),
+                format_bytes(result.report.bytes_read),
+                format_bytes(result.report.bytes_total),
+                f"{result.report.iowait_ratio:.1%}",
+                result.num_iterations,
+            ]
+        )
+    print(format_table(
+        ["engine", "time", "input", "total I/O", "iowait", "iterations"],
+        rows,
+        title=f"{graph.name}: root {root}, {args.disks}x{args.disk_kind}, "
+              f"{args.memory} memory (paper scale)",
+    ))
+    print(f"\nFastBFS speedup vs X-Stream: "
+          f"{times['x-stream'] / times['fastbfs']:.2f}x (paper: 1.6-2.1x HDD)")
+    print(f"FastBFS speedup vs GraphChi: "
+          f"{times['graphchi'] / times['fastbfs']:.2f}x (paper: 2.4-3.9x HDD)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    graph = _load_input(args)
+    root = _root(args, graph)
+    prof = level_profile(graph, root)
+    rows = []
+    for level, (frontier, scattered, remaining) in enumerate(
+        zip(prof.frontier_sizes, prof.scatter_edges, prof.remaining_edges)
+    ):
+        rows.append(
+            [
+                level,
+                frontier,
+                scattered,
+                remaining,
+                f"{remaining / max(prof.num_edges, 1):.1%}",
+            ]
+        )
+    print(format_table(
+        ["level", "frontier", "edges scattered", "stay list", "useful"],
+        rows,
+        title=f"{graph.name}: convergence from root {root} (Fig. 1 data)",
+    ))
+    saved = 1 - prof.total_scanned_with_trimming() / max(
+        prof.total_scanned_without_trimming(), 1
+    )
+    print(f"\nedge scans saved by trimming: {saved:.1%}")
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    rows = [
+        [
+            name,
+            f"{spec.paper_vertices/1e6:.1f}M",
+            f"{spec.paper_edges/1e6:.0f}M",
+            format_bytes(spec.paper_size_bytes),
+            spec.description,
+        ]
+        for name, spec in DATASETS.items()
+    ]
+    print(format_table(
+        ["name", "vertices", "edges", "size", "description"],
+        rows,
+        title="Table II datasets (paper scale; stand-ins are generated "
+              "at 1/REPRO_SCALE_DIVISOR)",
+    ))
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from repro.sim.trace import render_gantt
+
+    graph = _load_input(args)
+    machine = scaled_machine(
+        memory=args.memory,
+        cores=args.cores,
+        num_disks=args.disks,
+        disk_kind=args.disk_kind,
+        trace=True,
+    )
+    engine = _engine(args.engine, args)
+    if args.engine == "fastbfs" and args.disks > 1:
+        engine = make_engine(
+            "fastbfs", scaled_fastbfs_config(threads=args.threads,
+                                             rotate_streams=True)
+        )
+    root = _root(args, graph)
+    result = engine.run(graph, machine, root=root)
+    print(result.summary())
+    print()
+    print(render_gantt(machine, width=args.width))
+    return 0
+
+
+def cmd_shapes(args) -> int:
+    from repro.analysis.harness import ExperimentRunner
+    from repro.analysis.shapes import check_all, scoreboard
+
+    results = check_all(
+        ExperimentRunner(divisor=args.divisor), datasets=args.datasets
+    )
+    print(scoreboard(results))
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} claims hold")
+    return 1 if failed else 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.analysis.harness import ExperimentRunner
+    from repro.analysis.report import ALL_FIGURES, build_report
+
+    runner = ExperimentRunner(divisor=args.divisor)
+    report = build_report(
+        runner,
+        figures=args.figures if args.figures else ALL_FIGURES,
+        datasets=args.datasets,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "profile": cmd_profile,
+        "datasets": cmd_datasets,
+        "gantt": cmd_gantt,
+        "shapes": cmd_shapes,
+        "reproduce": cmd_reproduce,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

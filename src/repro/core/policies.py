@@ -1,0 +1,49 @@
+"""Trimming activation policy (paper §II-C3).
+
+Eager trimming can lose: on a slow-converging graph the frontier stays tiny,
+almost nothing is eliminated, and every iteration rewrites nearly the whole
+edge list for no reduction.  :class:`TrimPolicy` decides, once per
+iteration, whether the stay stream should be produced at all:
+
+* never before ``trim_start_iteration``;
+* when ``trim_trigger_fraction`` > 0, only once the *previous* iteration
+  eliminated at least that fraction of the edges it scanned (the measurable
+  proxy for "the stay list shrinks to a relatively small proportion").
+
+The decision is sticky upward: once triggered, trimming stays on — the
+eliminated fraction of the (already trimmed) stream only grows as the
+traversal converges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import FastBFSConfig
+from repro.engines.result import IterationStats
+
+
+class TrimPolicy:
+    """Per-iteration decision: produce stay streams or not."""
+
+    def __init__(self, config: FastBFSConfig, algorithm_supports_trimming: bool):
+        self.config = config
+        self.supported = bool(algorithm_supports_trimming and config.trim_enabled)
+        self._triggered = config.trim_trigger_fraction <= 0.0
+
+    def trimming_active(
+        self, iteration: int, previous: Optional[IterationStats]
+    ) -> bool:
+        """Should scatter iteration ``iteration`` write stay streams?"""
+        if not self.supported:
+            return False
+        if iteration < self.config.trim_start_iteration:
+            return False
+        if not self._triggered and previous is not None and previous.edges_scanned:
+            # Updates generated per edge scanned is the eliminable fraction
+            # under the paper's rule (generate => eliminate), and is counted
+            # whether or not trimming ran last iteration.
+            fraction = previous.updates_generated / previous.edges_scanned
+            if fraction >= self.config.trim_trigger_fraction:
+                self._triggered = True
+        return self._triggered

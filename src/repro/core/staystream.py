@@ -1,0 +1,160 @@
+"""Stay-stream lifecycle: the asynchronous trimming machinery (paper §III).
+
+Every trimming scatter over partition *p* produces a new stay file through
+an :class:`~repro.storage.streams.AsyncStreamWriter` (the "dedicated thread"
+with private edge buffers).  The file is *not* drained when the partition
+finishes — its writes keep flushing in the background across the rest of the
+pass and into the next iteration.  When scatter reaches *p* again, exactly
+one of two things happens:
+
+* **swap** — the stay file is durable (or will be within the cancellation
+  grace): it replaces *p*'s edge file as input, and the displaced file is
+  deleted;
+* **cancel** — the write-back is still queued: drop the unstarted requests,
+  discard the partial file, and keep streaming the previous edge file
+  ("pull out in time from expensive data writing").
+
+The manager tracks both generations — the writer currently producing
+("stay stream out") and the writer pending from last iteration ("stay
+stream in" candidate) — mirroring the two stay stream sets the paper swaps
+each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import FastBFSConfig
+from repro.errors import EngineError
+from repro.sim.clock import SimClock
+from repro.storage.device import Device
+from repro.storage.streams import AsyncStreamWriter
+from repro.storage.vfs import VFS, VirtualFile
+
+
+@dataclass
+class StayStats:
+    """Cumulative trimming counters for one run."""
+
+    files_written: int = 0
+    swaps: int = 0
+    cancellations: int = 0
+    records_written: int = 0
+    bytes_written: int = 0
+    pool_waits: int = 0
+    end_of_run_discards: int = 0
+
+
+class StayStreamManager:
+    """Owns every stay writer of a run."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        vfs: VFS,
+        device: Device,
+        config: FastBFSConfig,
+    ) -> None:
+        self.clock = clock
+        self.vfs = vfs
+        self.device = device
+        self.config = config
+        self._current: Dict[int, AsyncStreamWriter] = {}
+        self._pending: Dict[int, AsyncStreamWriter] = {}
+        self.stats = StayStats()
+
+    # ------------------------------------------------------------------
+    # input resolution (start of a partition's scatter)
+    # ------------------------------------------------------------------
+    def resolve_input(
+        self, p: int, current_file: VirtualFile
+    ) -> Tuple[VirtualFile, str]:
+        """Swap in partition ``p``'s pending stay file, or cancel it.
+
+        Returns ``(input_file, outcome)`` with outcome one of ``"keep"``
+        (no pending stay), ``"swap"``, or ``"cancel"``.
+        """
+        writer = self._pending.pop(p, None)
+        if writer is None:
+            return current_file, "keep"
+        if writer.is_ready(grace=self.config.cancellation_grace):
+            # Possibly a short wait inside the grace window.
+            self.clock.wait_until(writer.ready_at())
+            new_file = writer.file
+            old_name = current_file.name
+            self.vfs.replace(new_file.name, old_name)
+            self.stats.swaps += 1
+            return new_file, "swap"
+        writer.cancel()
+        self.stats.cancellations += 1
+        self.vfs.delete(writer.file.name)
+        return current_file, "cancel"
+
+    # ------------------------------------------------------------------
+    # output production (during a partition's scatter)
+    # ------------------------------------------------------------------
+    def open(
+        self, p: int, iteration: int, device: Optional[Device] = None
+    ) -> AsyncStreamWriter:
+        """Create the stay-out writer for partition ``p`` this iteration.
+
+        ``device`` overrides the manager's default target (used by the
+        two-disk rotation, which alternates the stay-out disk per
+        iteration).
+        """
+        if p in self._current:
+            raise EngineError(f"stay writer for partition {p} already open")
+        file = self.vfs.create(f"stay:p{p}:i{iteration}", device or self.device)
+        writer = AsyncStreamWriter(
+            self.clock,
+            file,
+            self.config.stay_buffer_bytes,
+            num_buffers=self.config.num_stay_buffers,
+            group=f"stay:p{p}:i{iteration}",
+        )
+        self._current[p] = writer
+        self.stats.files_written += 1
+        return writer
+
+    def current(self, p: int) -> Optional[AsyncStreamWriter]:
+        return self._current.get(p)
+
+    def append(self, p: int, records: np.ndarray) -> None:
+        writer = self._current.get(p)
+        if writer is None:
+            raise EngineError(f"no open stay writer for partition {p}")
+        writer.append(records)
+        self.stats.records_written += len(records)
+        self.stats.bytes_written += records.nbytes
+
+    def finish_partition(self, p: int) -> None:
+        """Close ``p``'s stay-out writer *without* draining (async flush)."""
+        writer = self._current.pop(p, None)
+        if writer is None:
+            return
+        writer.close(drain=False)
+        self.stats.pool_waits += writer.pool_waits
+        self._pending[p] = writer
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+    def discard_all(self) -> None:
+        """Cancel every outstanding stay write (traversal finished).
+
+        The in-flight buffers still complete and stay charged — wasted
+        write-back is a real cost of trimming near the end of a traversal.
+        """
+        for writer in list(self._pending.values()) + list(self._current.values()):
+            writer.cancel()
+            self.vfs.delete_if_exists(writer.file.name)
+            self.stats.end_of_run_discards += 1
+        self._pending.clear()
+        self._current.clear()
+
+    @property
+    def pending_partitions(self) -> Dict[int, AsyncStreamWriter]:
+        return dict(self._pending)

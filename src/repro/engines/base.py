@@ -1,0 +1,561 @@
+"""Shared edge-centric BSP scaffolding (the X-Stream execution model).
+
+One engine run executes an algorithm (BFS by default) as a sequence of
+scatter/gather iterations over streaming partitions (paper §II-A):
+
+1. an initial pass splits the raw edge list into per-partition out-edge
+   files (a single sequential read + sequential writes — the "no expensive
+   preprocessing" property);
+2. iteration 0 is a pure scatter pass; every later pass merges "gather of
+   iteration i" with "scatter of iteration i+1" per partition so each
+   partition's vertex set is read once per pass (the staging optimization
+   FastBFS inherits from X-Stream, §III);
+3. updates are shuffled into per-destination-partition update files using
+   two alternating stream sets (in/out parity, §III), with a drain barrier
+   before the pass that consumes them;
+4. when the whole working set fits the memory budget the run switches to
+   in-memory mode: the input is read from disk once and every stream lives
+   on the RAM pseudo-device (the Fig. 9 cliff).
+
+Subclass hooks (``_should_process_partition``, ``_edge_input_file``,
+``_on_scatter_buffer``, ``_post_partition_scatter``, ...) are where FastBFS
+adds trimming, cancellation and selective scheduling without duplicating the
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.streaming import AlgoContext, BFSAlgorithm, StreamingAlgorithm
+from repro.engines.costs import CostModel
+from repro.engines.result import EngineResult, IterationStats
+from repro.errors import ConfigError, EngineError
+from repro.graph.graph import Graph
+from repro.graph.partition import VertexPartitioning, plan_partition_count
+from repro.sim.timeline import ScheduledRequest
+from repro.storage.device import Device
+from repro.storage.machine import Machine
+from repro.storage.streams import StreamReader, StreamWriter
+from repro.storage.vfs import VirtualFile
+from repro.utils.units import KB, parse_bytes
+
+
+@dataclass
+class EngineConfig:
+    """Runtime knobs shared by the streaming engines.
+
+    Sizes accept ints or strings ("64KB").  Defaults are pre-scaled for the
+    reduced-scale reproduction datasets (see ``repro.analysis.calibration``
+    for the scaling rules that map them back to the paper's values).
+    """
+
+    threads: int = 4
+    #: Size of one edge streaming buffer (paper: chosen for sequential BW).
+    edge_buffer_bytes: Union[int, str] = 64 * KB
+    #: Number of edge buffers = read prefetch depth (paper §III).
+    num_edge_buffers: int = 2
+    #: Size of one update stream buffer.
+    update_buffer_bytes: Union[int, str] = 32 * KB
+    #: Fraction of working memory available for one partition's vertex set.
+    vertex_memory_fraction: float = 0.25
+    #: Override the planned partition count (None = derive from memory).
+    num_partitions: Optional[int] = None
+    #: Cap on scatter passes (None = run to convergence).  Fixed-round
+    #: algorithms like PageRank set this; the final gather still runs.
+    max_iterations: Optional[int] = None
+    #: Allow switching to in-memory mode when the working set fits RAM.
+    allow_in_memory: bool = True
+    #: Working set estimate = in_memory_factor * edge bytes + vertex bytes.
+    #: The factor covers input and output edge streams, both update stream
+    #: sets, stream buffers and allocator slack; 6x edge bytes reproduces the
+    #: paper's Fig. 9 behaviour (rmat22 fits at 4GB, not at 2GB).
+    in_memory_factor: float = 6.0
+    #: Disk index for edge/stay files (clamped to available disks).
+    edge_disk: int = 0
+    #: Disk index for update files.
+    update_disk: int = 0
+    #: Disk index for vertex set files.
+    vertex_disk: int = 0
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        self.edge_buffer_bytes = parse_bytes(self.edge_buffer_bytes)
+        self.update_buffer_bytes = parse_bytes(self.update_buffer_bytes)
+        if self.threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {self.threads}")
+        if self.num_edge_buffers < 1:
+            raise ConfigError("num_edge_buffers must be >= 1")
+        if self.edge_buffer_bytes <= 0 or self.update_buffer_bytes <= 0:
+            raise ConfigError("buffer sizes must be positive")
+        if self.num_partitions is not None and self.num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+        if not 0 < self.vertex_memory_fraction <= 1:
+            raise ConfigError("vertex_memory_fraction must be in (0, 1]")
+        if self.in_memory_factor < 1.0:
+            raise ConfigError("in_memory_factor must be >= 1")
+        for name in ("edge_disk", "update_disk", "vertex_disk"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """Copy with some fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+class _RunState:
+    """Mutable per-run bundle so engines stay reusable across runs."""
+
+    def __init__(self) -> None:
+        self.graph: Graph = None  # type: ignore[assignment]
+        self.machine: Machine = None  # type: ignore[assignment]
+        self.algo: StreamingAlgorithm = None  # type: ignore[assignment]
+        self.state: np.ndarray = None  # type: ignore[assignment]
+        self.partitioning: VertexPartitioning = None  # type: ignore[assignment]
+        self.in_memory = False
+        self.dev_edges: Device = None  # type: ignore[assignment]
+        self.dev_updates: Device = None  # type: ignore[assignment]
+        self.dev_vertices: Device = None  # type: ignore[assignment]
+        self.edge_files: List[VirtualFile] = []
+        self.vertex_files: List[VirtualFile] = []
+        self.update_in: List[Optional[VirtualFile]] = []
+        self.update_writers: List[StreamWriter] = []
+        self.pending_vertex_writes: List[ScheduledRequest] = []
+        self.iterations: List[IterationStats] = []
+        self.extras: Dict[str, float] = {}
+
+
+class EdgeCentricEngine:
+    """X-Stream-style scatter/gather engine; subclass hooks add FastBFS."""
+
+    name = "edge-centric"
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self._rt: Optional[_RunState] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: Graph,
+        machine: Machine,
+        algorithm: Optional[StreamingAlgorithm] = None,
+        root: int = 0,
+        roots: Optional[Sequence[int]] = None,
+    ) -> EngineResult:
+        """Execute ``algorithm`` (default BFS from ``root``) on ``machine``.
+
+        The machine must be fresh (zero clock, empty VFS); build one per run
+        so reports are per-run.
+        """
+        algo = algorithm if algorithm is not None else BFSAlgorithm()
+        if machine.clock.now != 0.0 or len(machine.vfs) != 0:
+            raise EngineError(
+                "machine has already been used; engines need a fresh Machine "
+                "per run (use Machine.fresh())"
+            )
+        rt = _RunState()
+        rt.graph = graph
+        rt.machine = machine
+        rt.algo = algo
+        self._rt = rt
+        try:
+            rt.state = algo.init_state(
+                graph.num_vertices, roots if roots is not None else [root]
+            )
+            if "active" not in rt.state.dtype.names:
+                raise EngineError("algorithm state must contain an 'active' field")
+            self._plan(rt)
+            self._load_input(rt)
+            self._before_run(rt)
+
+            pass_updates = self._scatter_only_pass(rt)
+            iteration = 0
+            while pass_updates > 0:
+                iteration += 1
+                pass_updates = self._merged_pass(rt, iteration)
+            self._after_run(rt)
+            return EngineResult(
+                engine=self.name,
+                algorithm=algo.name,
+                graph_name=graph.name,
+                output=algo.result(rt.state),
+                report=machine.report(),
+                iterations=rt.iterations,
+                extras=dict(rt.extras),
+            )
+        finally:
+            self._rt = None
+
+    # ------------------------------------------------------------------
+    # planning & input staging
+    # ------------------------------------------------------------------
+    def _plan(self, rt: _RunState) -> None:
+        cfg = self.config
+        machine = rt.machine
+        algo = rt.algo
+        n = rt.graph.num_vertices
+        vertex_bytes = n * algo.disk_record_bytes
+        working_set = rt.graph.nbytes * cfg.in_memory_factor + vertex_bytes
+        rt.in_memory = bool(
+            cfg.allow_in_memory and working_set <= machine.memory_bytes
+        )
+        count = cfg.num_partitions or plan_partition_count(
+            n,
+            algo.disk_record_bytes,
+            machine.memory_bytes,
+            cfg.vertex_memory_fraction,
+        )
+        rt.partitioning = VertexPartitioning(n, count)
+        if rt.in_memory:
+            rt.dev_edges = rt.dev_updates = rt.dev_vertices = machine.ram
+        else:
+            rt.dev_edges = machine.disk(cfg.edge_disk)
+            rt.dev_updates = machine.disk(cfg.update_disk)
+            rt.dev_vertices = machine.disk(cfg.vertex_disk)
+        rt.extras["partitions"] = float(rt.partitioning.count)
+        rt.extras["in_memory"] = float(rt.in_memory)
+
+    def _load_input(self, rt: _RunState) -> None:
+        """Stage the raw edge list into per-partition edge files.
+
+        The input file pre-exists on disk 0 (creating it is not charged);
+        splitting it into streaming partitions is one sequential read plus
+        parallel sequential writes, charged like any other I/O.
+        """
+        cfg = self.config
+        machine = rt.machine
+        vfs = machine.vfs
+        part = rt.partitioning
+        input_file = vfs.create(f"input:{rt.graph.name}", machine.disk(0))
+        if rt.graph.num_edges:
+            input_file.append_records(rt.graph.edges)
+        input_file.seal()
+
+        # Vertex set files (timing anchors; the state array is the data path).
+        rt.vertex_files = [
+            vfs.create(f"vertices:p{p}", rt.dev_vertices) for p in part
+        ]
+
+        if part.count == 1 and rt.dev_edges is machine.disk(0) and not rt.in_memory:
+            # Single streaming partition on the input disk: stream the input
+            # directly, exactly like X-Stream with one partition.
+            rt.edge_files = [input_file]
+        else:
+            reader = StreamReader(
+                machine.clock,
+                input_file,
+                cfg.edge_buffer_bytes,
+                prefetch=cfg.num_edge_buffers,
+                group="input",
+            )
+            writers = [
+                StreamWriter(
+                    machine.clock,
+                    vfs.create(f"edges:p{p}", rt.dev_edges),
+                    cfg.edge_buffer_bytes,
+                    group=f"partition:p{p}",
+                )
+                for p in part
+            ]
+            cm = cfg.cost_model
+            for buf in reader:
+                cm.charge(
+                    machine.clock,
+                    "partition",
+                    cm.partition_per_edge,
+                    len(buf),
+                    cfg.threads,
+                    machine.cores,
+                )
+                for p, (_, chunk) in part.split_by_partition(buf["src"], buf):
+                    writers[p].append(chunk)
+            for w in writers:
+                w.close(drain=False)
+            last_ends = [w.last_end for w in writers if w.last_end is not None]
+            if last_ends:
+                machine.clock.wait_until(max(last_ends))
+            rt.edge_files = [w.file for w in writers]
+
+        rt.update_in = [None] * part.count
+
+    # ------------------------------------------------------------------
+    # passes
+    # ------------------------------------------------------------------
+    def _scatter_only_pass(self, rt: _RunState) -> int:
+        """Iteration 0: scatter the initial frontier, no gather yet."""
+        ctx = AlgoContext(0)
+        stats = IterationStats(iteration=0)
+        rt.iterations.append(stats)
+        self._open_update_writers(rt, iteration=0)
+        part = rt.partitioning
+        active_per_part = self._active_per_partition(rt)
+        for p in part:
+            if not self._should_process_partition(rt, p, False, int(active_per_part[p])):
+                stats.partitions_skipped += 1
+                continue
+            stats.partitions_processed += 1
+            self.config.cost_model.charge_phase(rt.machine.clock, self.config.threads)
+            self._read_vertices(rt, p)
+            stats.updates_generated += self._scatter_partition(rt, p, ctx, stats)
+            self._write_vertices(rt, p)
+        self._finish_pass(rt, stats)
+        return stats.updates_generated
+
+    def _merged_pass(self, rt: _RunState, iteration: int) -> int:
+        """Gather iteration-1's updates and scatter this iteration, merged."""
+        gather_ctx = AlgoContext(iteration - 1)
+        scatter_ctx = AlgoContext(iteration)
+        stats = IterationStats(iteration=iteration)
+        rt.iterations.append(stats)
+        prev_updates = rt.update_in
+        self._open_update_writers(rt, iteration=iteration)
+        for p in rt.partitioning:
+            update_file = prev_updates[p]
+            has_updates = update_file is not None and update_file.num_records > 0
+            if not self._should_process_partition(rt, p, has_updates, 0):
+                stats.partitions_skipped += 1
+                continue
+            stats.partitions_processed += 1
+            self.config.cost_model.charge_phase(rt.machine.clock, self.config.threads)
+            self._read_vertices(rt, p)
+            activated = (
+                self._gather_partition(rt, p, gather_ctx, update_file)
+                if has_updates
+                else 0
+            )
+            lo, hi = rt.partitioning.range_of(p)
+            rt.algo.after_gather(gather_ctx, rt.state[lo:hi])
+            stats.activated += activated
+            scatter_allowed = (
+                self.config.max_iterations is None
+                or iteration < self.config.max_iterations
+            )
+            if scatter_allowed and self._should_scatter(rt, p, activated):
+                stats.updates_generated += self._scatter_partition(
+                    rt, p, scatter_ctx, stats
+                )
+            self._write_vertices(rt, p)
+        for f in prev_updates:
+            if f is not None:
+                rt.machine.vfs.delete(f.name)
+        self._finish_pass(rt, stats)
+        return stats.updates_generated
+
+    def _finish_pass(self, rt: _RunState, stats: IterationStats) -> None:
+        """Barrier: updates (and vertex writes) durable before the next pass."""
+        clock = rt.machine.clock
+        new_updates: List[Optional[VirtualFile]] = []
+        ends = []
+        for w in rt.update_writers:
+            w.close(drain=False)
+            if w.last_end is not None:
+                ends.append(w.last_end)
+            if w.file.num_records > 0:
+                new_updates.append(w.file)
+            else:
+                rt.machine.vfs.delete(w.file.name)
+                new_updates.append(None)
+        ends.extend(r.end for r in rt.pending_vertex_writes)
+        if ends:
+            clock.wait_until(max(ends))
+        rt.pending_vertex_writes = []
+        rt.update_writers = []
+        rt.update_in = new_updates
+        stats.clock_end = clock.now
+
+    # ------------------------------------------------------------------
+    # per-partition work
+    # ------------------------------------------------------------------
+    def _scatter_partition(
+        self, rt: _RunState, p: int, ctx: AlgoContext, stats: IterationStats
+    ) -> int:
+        cfg = self.config
+        cm = cfg.cost_model
+        machine = rt.machine
+        lo, hi = rt.partitioning.range_of(p)
+        state_view = rt.state[lo:hi]
+        in_file = self._edge_input_file(rt, p, ctx, stats)
+        self._pre_partition_scatter(rt, p, ctx)
+        reader = StreamReader(
+            machine.clock,
+            in_file,
+            cfg.edge_buffer_bytes,
+            prefetch=cfg.num_edge_buffers,
+            group=f"edges:p{p}",
+        )
+        generated = 0
+        for buf in reader:
+            stats.edges_scanned += len(buf)
+            cm.charge(
+                machine.clock,
+                "scatter",
+                cm.scatter_per_edge,
+                len(buf),
+                cfg.threads,
+                machine.cores,
+            )
+            src_local = buf["src"].astype(np.int64) - lo
+            updates, eliminate = rt.algo.scatter(
+                ctx, state_view, src_local, buf["src"], buf["dst"]
+            )
+            self._on_scatter_buffer(rt, p, ctx, buf, src_local, eliminate, stats)
+            if len(updates):
+                cm.charge(
+                    machine.clock,
+                    "shuffle",
+                    cm.shuffle_per_update,
+                    len(updates),
+                    cfg.threads,
+                    machine.cores,
+                )
+                for j, (_, chunk) in rt.partitioning.split_by_partition(
+                    updates["dst"], updates
+                ):
+                    rt.update_writers[j].append(chunk)
+                generated += len(updates)
+        state_view["active"][:] = 0
+        self._post_partition_scatter(rt, p, ctx)
+        return generated
+
+    def _gather_partition(
+        self,
+        rt: _RunState,
+        p: int,
+        ctx: AlgoContext,
+        update_file: VirtualFile,
+    ) -> int:
+        cfg = self.config
+        cm = cfg.cost_model
+        machine = rt.machine
+        lo, _hi = rt.partitioning.range_of(p)
+        state_view = rt.state[lo:_hi]
+        reader = StreamReader(
+            machine.clock,
+            update_file,
+            cfg.update_buffer_bytes,
+            prefetch=cfg.num_edge_buffers,
+            group=f"updates:p{p}",
+        )
+        activated = 0
+        for buf in reader:
+            cm.charge(
+                machine.clock,
+                "gather",
+                cm.gather_per_update,
+                len(buf),
+                cfg.threads,
+                machine.cores,
+            )
+            dst_local = buf["dst"].astype(np.int64) - lo
+            activated += rt.algo.gather(ctx, state_view, dst_local, buf["payload"])
+        return activated
+
+    # ------------------------------------------------------------------
+    # vertex set I/O (timing anchors; state array is the data path)
+    # ------------------------------------------------------------------
+    def _vertex_nbytes(self, rt: _RunState, p: int) -> int:
+        return rt.partitioning.size_of(p) * rt.algo.disk_record_bytes
+
+    def _read_vertices(self, rt: _RunState, p: int) -> None:
+        f = rt.vertex_files[p]
+        req = f.device.submit(
+            submit_time=rt.machine.clock.now,
+            kind="read",
+            nbytes=self._vertex_nbytes(rt, p),
+            file_id=f.file_id,
+            offset=0,
+            group="vertices",
+        )
+        rt.machine.clock.wait_until(req.end)
+
+    def _write_vertices(self, rt: _RunState, p: int) -> None:
+        f = rt.vertex_files[p]
+        req = f.device.submit(
+            submit_time=rt.machine.clock.now,
+            kind="write",
+            nbytes=self._vertex_nbytes(rt, p),
+            file_id=f.file_id,
+            offset=0,
+            group="vertices",
+        )
+        rt.pending_vertex_writes.append(req)
+
+    # ------------------------------------------------------------------
+    # update stream plumbing
+    # ------------------------------------------------------------------
+    def _open_update_writers(self, rt: _RunState, iteration: int) -> None:
+        cfg = self.config
+        parity = iteration % 2
+        device = self._update_device(rt, iteration)
+        rt.update_writers = [
+            StreamWriter(
+                rt.machine.clock,
+                rt.machine.vfs.create(f"updates:{parity}:p{p}", device),
+                cfg.update_buffer_bytes,
+                group=f"updates:{parity}:p{p}",
+            )
+            for p in rt.partitioning
+        ]
+
+    def _update_device(self, rt: _RunState, iteration: int) -> Device:
+        """Device for the update streams written during ``iteration``."""
+        return rt.dev_updates
+
+    def _active_per_partition(self, rt: _RunState) -> np.ndarray:
+        active = np.flatnonzero(rt.state["active"])
+        counts = np.zeros(rt.partitioning.count, dtype=np.int64)
+        if len(active):
+            parts = rt.partitioning.partition_of(active)
+            counts += np.bincount(parts, minlength=rt.partitioning.count)
+        return counts
+
+    # ------------------------------------------------------------------
+    # subclass hooks (X-Stream semantics by default)
+    # ------------------------------------------------------------------
+    def _before_run(self, rt: _RunState) -> None:
+        """Called after planning/staging, before iteration 0."""
+
+    def _after_run(self, rt: _RunState) -> None:
+        """Called after the final pass, before the result is assembled."""
+
+    def _should_process_partition(
+        self, rt: _RunState, p: int, has_updates: bool, initial_active: int
+    ) -> bool:
+        """X-Stream touches every partition every pass (its weakness)."""
+        return True
+
+    def _should_scatter(self, rt: _RunState, p: int, activated: int) -> bool:
+        """X-Stream streams the full edge list even with an empty frontier."""
+        return True
+
+    def _edge_input_file(
+        self, rt: _RunState, p: int, ctx: AlgoContext, stats: IterationStats
+    ) -> VirtualFile:
+        """Which edge file scatter streams for partition ``p``."""
+        return rt.edge_files[p]
+
+    def _pre_partition_scatter(self, rt: _RunState, p: int, ctx: AlgoContext) -> None:
+        """Hook before streaming a partition's edges."""
+
+    def _on_scatter_buffer(
+        self,
+        rt: _RunState,
+        p: int,
+        ctx: AlgoContext,
+        buf: np.ndarray,
+        src_local: np.ndarray,
+        eliminate: Optional[np.ndarray],
+        stats: IterationStats,
+    ) -> None:
+        """Hook per edge buffer (FastBFS writes the stay stream here)."""
+
+    def _post_partition_scatter(self, rt: _RunState, p: int, ctx: AlgoContext) -> None:
+        """Hook after a partition's scatter finished."""

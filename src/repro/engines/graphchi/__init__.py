@@ -1,0 +1,15 @@
+"""GraphChi baseline (Kyrola et al., OSDI'12) — vertex-centric PSW.
+
+The paper's second comparison system: vertices are split into execution
+intervals, each with a *shard* of its in-edges sorted by source, and an
+iteration slides a window over every shard (read the memory shard fully,
+read/write the source-contiguous block of every other shard).  Heavier
+per-edge records (edge values travel on disk), a read *and* a write of the
+edge data every iteration, and extra CPU for shard management — but an
+asynchronous update schedule that converges in fewer passes.
+"""
+
+from repro.engines.graphchi.engine import GraphChiConfig, GraphChiEngine
+from repro.engines.graphchi.shards import ShardedGraph, build_shards
+
+__all__ = ["GraphChiEngine", "GraphChiConfig", "ShardedGraph", "build_shards"]

@@ -1,0 +1,106 @@
+"""Result objects returned by engine runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.storage.machine import IOReport
+from repro.utils.units import format_bytes, format_seconds
+
+
+@dataclass
+class IterationStats:
+    """Per-scatter-iteration counters (one BFS level per iteration)."""
+
+    iteration: int
+    edges_scanned: int = 0
+    updates_generated: int = 0
+    activated: int = 0
+    partitions_processed: int = 0
+    partitions_skipped: int = 0
+    edges_eliminated: int = 0
+    stay_records_written: int = 0
+    stay_swaps: int = 0
+    stay_cancellations: int = 0
+    clock_end: float = 0.0
+
+
+@dataclass
+class EngineResult:
+    """Output of one engine execution.
+
+    ``output`` holds the algorithm's result arrays (e.g. ``level`` and
+    ``parent`` for BFS); ``report`` is the storage substrate's accounting
+    (execution time, bytes, iowait); ``iterations`` the per-level counters.
+    """
+
+    engine: str
+    algorithm: str
+    graph_name: str
+    output: Dict[str, np.ndarray]
+    report: IOReport
+    iterations: List[IterationStats] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # Convenience accessors for the common BFS case -----------------------
+    @property
+    def levels(self) -> np.ndarray:
+        key = "level" if "level" in self.output else "distance"
+        return self.output[key]
+
+    @property
+    def parents(self) -> Optional[np.ndarray]:
+        return self.output.get("parent")
+
+    @property
+    def execution_time(self) -> float:
+        return self.report.execution_time
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def edges_scanned(self) -> int:
+        return sum(it.edges_scanned for it in self.iterations)
+
+    @property
+    def updates_generated(self) -> int:
+        return sum(it.updates_generated for it in self.iterations)
+
+    def iteration_table(self) -> str:
+        """Per-iteration (per BFS level) breakdown as aligned text."""
+        header = (
+            f"{'iter':>4}  {'edges scanned':>13}  {'updates':>9}  "
+            f"{'activated':>9}  {'parts run/skip':>14}  {'stay kept':>9}  "
+            f"{'swap/cancel':>11}  {'t_end':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for it in self.iterations:
+            lines.append(
+                f"{it.iteration:>4}  {it.edges_scanned:>13,}  "
+                f"{it.updates_generated:>9,}  {it.activated:>9,}  "
+                f"{f'{it.partitions_processed}/{it.partitions_skipped}':>14}  "
+                f"{it.stay_records_written:>9,}  "
+                f"{f'{it.stay_swaps}/{it.stay_cancellations}':>11}  "
+                f"{format_seconds(it.clock_end):>9}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.engine} / {self.algorithm} on {self.graph_name}: "
+            f"{format_seconds(self.execution_time)} over "
+            f"{self.num_iterations} iterations",
+            f"  edges scanned: {self.edges_scanned:,}  "
+            f"updates: {self.updates_generated:,}",
+            f"  input read: {format_bytes(self.report.bytes_read)}  "
+            f"written: {format_bytes(self.report.bytes_written)}  "
+            f"iowait: {self.report.iowait_ratio:.1%}",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The X-Stream baseline (Roy et al., SOSP'13), as the paper runs it.
+
+X-Stream is exactly the shared edge-centric scaffolding with no FastBFS
+additions: every partition is touched every pass, the full edge list is
+streamed every iteration regardless of frontier size, and nothing is ever
+trimmed.  Its strengths (sequential bandwidth, no preprocessing, in-memory
+mode when the graph fits) all live in :class:`EdgeCentricEngine`; its
+weakness — "indiscriminately traverses the whole graph in every iteration"
+(paper §IV-B) — is the default hook behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EdgeCentricEngine
+
+
+class XStreamEngine(EdgeCentricEngine):
+    """Edge-centric BSP engine without trimming or selective scheduling."""
+
+    name = "x-stream"

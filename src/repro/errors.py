@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at API boundaries.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TimelineError(SimulationError):
+    """A device timeline was asked to do something unschedulable."""
+
+
+class StorageError(ReproError):
+    """Virtual filesystem / device level failure."""
+
+
+class FileNotOpenError(StorageError):
+    """An operation was attempted on a closed virtual file handle."""
+
+
+class OutOfSpaceError(StorageError):
+    """A device ran out of modeled capacity."""
+
+
+class GraphError(ReproError):
+    """Graph construction or I/O failure."""
+
+
+class GraphFormatError(GraphError):
+    """A binary graph file or its config sidecar is malformed."""
+
+
+class PartitionError(GraphError):
+    """Vertex partitioning request is infeasible."""
+
+
+class EngineError(ReproError):
+    """A graph engine reached an invalid state."""
+
+
+class ValidationError(ReproError):
+    """A computed result failed validation against a reference."""

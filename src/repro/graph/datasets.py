@@ -1,0 +1,179 @@
+"""Scaled stand-ins for the paper's datasets (Table II).
+
+The paper evaluates on rmat22/25/27 (Graph500 spec), the twitter follower
+graph (61.62M vertices / 1.5B edges) and the friendster social graph
+(124.8M vertices / 1.8B edges).  Billion-edge inputs are not tractable for a
+pure-Python reproduction, so each dataset is regenerated at ``1/divisor``
+scale (default 256) with the generator that preserves its relevant shape:
+
+* rmatNN  -> R-MAT at ``scale - log2(divisor)``, same edge factor & skew;
+* twitter -> directed power-law in-degree graph (follower shape);
+* friendster -> mildly-skewed R-MAT, symmetrized (undirected convention).
+
+What must survive scaling is the *convergence profile* (fraction of edges
+whose source is newly visited per BFS level) and the *BFS depth* (the
+number of scatter/gather iterations, which drives a non-trimming engine's
+waste).  The degree distribution scales freely, but depth shrinks
+logarithmically with size, so every stand-in gets sparse path "whiskers"
+attached (:func:`repro.graph.generators.attach_whiskers`, ~2% extra
+vertices) to restore the full-scale level count — real web/social graphs
+have exactly this core-plus-whiskers structure.  The divisor and whisker
+parameters are recorded in each graph's metadata and in EXPERIMENTS.md.
+
+Set ``REPRO_SCALE_DIVISOR`` (power of two >= 16) to trade fidelity for
+speed; tests use a large divisor, benchmarks the default.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.graph.generators import attach_whiskers, powerlaw_graph, rmat_graph
+from repro.utils.units import GB, MB
+
+DEFAULT_SCALE_DIVISOR = 256
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table II plus our regeneration recipe."""
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    paper_size_bytes: int
+    description: str
+    builder: Callable[[int, int], Graph]  # (divisor, seed) -> Graph
+
+    def build(self, divisor: int, seed: int = 1) -> Graph:
+        graph = self.builder(divisor, seed)
+        graph.meta.update(
+            {
+                "dataset": self.name,
+                "scale_divisor": divisor,
+                "paper_vertices": self.paper_vertices,
+                "paper_edges": self.paper_edges,
+            }
+        )
+        graph.name = self.name
+        return graph
+
+
+def _shift(divisor: int) -> int:
+    shift = int(math.log2(divisor))
+    if 1 << shift != divisor:
+        raise ConfigError(f"scale divisor must be a power of two, got {divisor}")
+    return shift
+
+
+def _add_depth_whiskers(graph: Graph, seed: int) -> Graph:
+    """Restore full-scale BFS depth with ~2% sparse periphery (see module doc)."""
+    count = max(4, graph.num_vertices // 400)
+    return attach_whiskers(
+        graph,
+        num_whiskers=count,
+        min_length=3,
+        max_length=9,
+        seed=seed + 7919,
+        name=graph.name,
+    )
+
+
+def _rmat_builder(scale: int) -> Callable[[int, int], Graph]:
+    def build(divisor: int, seed: int) -> Graph:
+        reduced = scale - _shift(divisor)
+        if reduced < 4:
+            raise ConfigError(
+                f"divisor {divisor} reduces rmat{scale} below scale 4; "
+                "use a smaller REPRO_SCALE_DIVISOR"
+            )
+        core = rmat_graph(scale=reduced, edge_factor=16, seed=seed)
+        return _add_depth_whiskers(core, seed)
+
+    return build
+
+
+def _twitter_builder(divisor: int, seed: int) -> Graph:
+    n = max(1024, 61_620_000 // divisor)
+    m = max(4096, 1_468_365_182 // divisor)
+    core = powerlaw_graph(
+        n, m, exponent=1.9, out_exponent=2.0, seed=seed, name="twitter_rv"
+    )
+    return _add_depth_whiskers(core, seed)
+
+
+def _friendster_builder(divisor: int, seed: int) -> Graph:
+    # Undirected: generate half the arcs, then add the reverse direction.
+    n_target = max(1024, 124_800_000 // divisor)
+    scale = max(10, int(round(math.log2(n_target))))
+    half_edges = max(4096, 1_806_067_135 // (2 * divisor))
+    edge_factor = max(1, int(round(half_edges / (1 << scale))))
+    base = rmat_graph(
+        scale=scale, edge_factor=edge_factor, a=0.45, b=0.22, c=0.22, d=0.11, seed=seed
+    )
+    return _add_depth_whiskers(base.symmetrized(name="friendster"), seed)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "rmat22": DatasetSpec(
+        "rmat22", 4_200_000, 67_100_000, 768 * MB,
+        "Graph500 R-MAT scale 22 (tuning dataset)", _rmat_builder(22),
+    ),
+    "rmat25": DatasetSpec(
+        "rmat25", 33_600_000, 536_800_000, 6 * GB,
+        "Graph500 R-MAT scale 25", _rmat_builder(25),
+    ),
+    "rmat27": DatasetSpec(
+        "rmat27", 134_200_000, 2_100_000_000, 24 * GB,
+        "Graph500 R-MAT scale 27", _rmat_builder(27),
+    ),
+    "twitter_rv": DatasetSpec(
+        "twitter_rv", 61_620_000, 1_468_365_182, 11 * GB,
+        "Twitter follower graph (Kwak et al. 2010)", _twitter_builder,
+    ),
+    "friendster": DatasetSpec(
+        "friendster", 124_800_000, 1_806_067_135, 14 * GB,
+        "Friendster social network (SNAP), undirected", _friendster_builder,
+    ),
+}
+
+#: The four datasets of the paper's headline comparisons (Figs. 4-7, 10).
+BIG_DATASETS = ("rmat25", "rmat27", "twitter_rv", "friendster")
+
+_cache: Dict[Tuple[str, int, int], Graph] = {}
+
+
+def scale_divisor() -> int:
+    """Active dataset scale divisor (env-overridable)."""
+    raw = os.environ.get("REPRO_SCALE_DIVISOR", "")
+    if not raw:
+        return DEFAULT_SCALE_DIVISOR
+    try:
+        divisor = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_SCALE_DIVISOR must be an int, got {raw!r}")
+    if divisor < 16:
+        raise ConfigError(f"REPRO_SCALE_DIVISOR must be >= 16, got {divisor}")
+    _shift(divisor)  # validates power of two
+    return divisor
+
+
+def build_dataset(
+    name: str, divisor: Optional[int] = None, seed: int = 1, cache: bool = True
+) -> Graph:
+    """Build (and memoize) a scaled stand-in dataset by Table II name."""
+    if name not in DATASETS:
+        raise ConfigError(f"unknown dataset {name!r}; options: {sorted(DATASETS)}")
+    divisor = divisor if divisor is not None else scale_divisor()
+    key = (name, divisor, seed)
+    if cache and key in _cache:
+        return _cache[key]
+    graph = DATASETS[name].build(divisor, seed)
+    if cache:
+        _cache[key] = graph
+    return graph

@@ -1,0 +1,238 @@
+"""FIFO device timeline with cancellation.
+
+Each simulated block device owns one :class:`Timeline`.  Requests are
+submitted with a *service time* (seek + transfer, computed by the device
+model) and packed first-come-first-served: a request submitted at time ``t``
+starts at ``max(t, end of the previous request)``.
+
+Submissions must be non-decreasing in time.  This holds by construction:
+every submitter shares the engine's single :class:`~repro.sim.clock.SimClock`
+and that clock is monotonic.
+
+Cancellation removes *queued, not-yet-started* requests and repacks the ones
+behind them, which is exactly the semantics the paper gives for abandoning an
+unfinished stay-file write: buffers already being written complete, queued
+buffers are dropped, and later requests move up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TimelineError
+
+
+@dataclass
+class ScheduledRequest:
+    """One device request as placed on a timeline.
+
+    ``group`` labels a logical stream (e.g. ``"stay:p3:i2"``) so related
+    requests can be queried or cancelled together.  ``start``/``end`` may
+    shift earlier if a request queued ahead of this one is cancelled, so
+    always read them from the live object rather than caching.
+    """
+
+    group: str
+    kind: str  # "read" | "write"
+    nbytes: int
+    submit: float
+    service: float
+    start: float = 0.0
+    end: float = 0.0
+    cancelled: bool = False
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds the request waited behind earlier requests."""
+        return self.start - self.submit
+
+
+class Timeline:
+    """FIFO schedule of requests for a single device."""
+
+    def __init__(self, name: str = "device", keep_trace: bool = False) -> None:
+        self.name = name
+        #: When enabled, every accepted request is retained in ``trace``
+        #: (cancelled ones stay, flagged) for post-run Gantt rendering.
+        self.keep_trace = keep_trace
+        self.trace: List[ScheduledRequest] = []
+        self._queue: List[ScheduledRequest] = []
+        # End time of the last request pruned from the queue head.
+        self._settled_end = 0.0
+        # Accounting for pruned requests (live ones are scanned on demand).
+        self._settled_busy = 0.0
+        self._settled_count = 0
+        self._bytes_by_kind: Dict[str, int] = {"read": 0, "write": 0}
+        # (role, kind) -> bytes, where role is the stream-group prefix.
+        self._bytes_by_role: Dict[tuple, int] = {}
+        self._last_submit = 0.0
+
+    @staticmethod
+    def role_of(group: str) -> str:
+        """Stream role: the group label's prefix ('stay:p3:i2' -> 'stay')."""
+        return group.split(":", 1)[0] if group else "other"
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        submit: float,
+        service: float,
+        nbytes: int,
+        kind: str,
+        group: str = "",
+    ) -> ScheduledRequest:
+        """Append a request, returning its scheduled placement."""
+        if service < 0:
+            raise TimelineError(f"negative service time {service}")
+        if nbytes < 0:
+            raise TimelineError(f"negative request size {nbytes}")
+        if kind not in ("read", "write"):
+            raise TimelineError(f"request kind must be 'read' or 'write', got {kind!r}")
+        if submit < self._last_submit - 1e-12:
+            raise TimelineError(
+                f"submissions must be monotonic: {submit} after {self._last_submit}"
+            )
+        self._last_submit = max(self._last_submit, submit)
+        self._prune(submit)
+        free_at = self._queue[-1].end if self._queue else self._settled_end
+        start = max(submit, free_at)
+        req = ScheduledRequest(
+            group=group,
+            kind=kind,
+            nbytes=nbytes,
+            submit=submit,
+            service=service,
+            start=start,
+            end=start + service,
+        )
+        self._queue.append(req)
+        if self.keep_trace:
+            self.trace.append(req)
+        self._bytes_by_kind[kind] = self._bytes_by_kind.get(kind, 0) + nbytes
+        role_key = (self.role_of(group), kind)
+        self._bytes_by_role[role_key] = self._bytes_by_role.get(role_key, 0) + nbytes
+        return req
+
+    def _prune(self, watermark: float) -> None:
+        """Retire queue-head requests that finished at or before ``watermark``.
+
+        Retired requests can never be affected by a future cancellation
+        (cancellation only touches requests starting at or after the current
+        engine time, and engine time >= watermark).
+        """
+        idx = 0
+        for req in self._queue:
+            if req.end <= watermark:
+                self._settled_end = req.end
+                self._settled_busy += req.service
+                self._settled_count += 1
+                idx += 1
+            else:
+                break
+        if idx:
+            del self._queue[:idx]
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(
+        self,
+        now: float,
+        predicate: Callable[[ScheduledRequest], bool],
+    ) -> List[ScheduledRequest]:
+        """Cancel queued requests matching ``predicate`` that haven't started.
+
+        A request with ``start < now`` is in service (or done) and is left
+        alone.  Requests behind a cancelled one are repacked earlier.
+        Returns the cancelled requests (marked ``cancelled=True``).
+        """
+        cancelled: List[ScheduledRequest] = []
+        kept: List[ScheduledRequest] = []
+        for req in self._queue:
+            if req.start >= now and predicate(req):
+                req.cancelled = True
+                self._bytes_by_kind[req.kind] -= req.nbytes
+                self._bytes_by_role[(self.role_of(req.group), req.kind)] -= req.nbytes
+                cancelled.append(req)
+            else:
+                kept.append(req)
+        if cancelled:
+            self._queue = kept
+            self._repack(now)
+        return cancelled
+
+    def _repack(self, now: float) -> None:
+        """Re-run FIFO packing for requests that haven't started by ``now``."""
+        free_at = self._settled_end
+        for req in self._queue:
+            if req.start < now:
+                # In service or already finished; its placement is history.
+                free_at = max(free_at, req.end)
+                continue
+            req.start = max(req.submit, free_at, now)
+            req.end = req.start + req.service
+            free_at = req.end
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def free_at(self) -> float:
+        """Time at which the device has no queued or in-service work."""
+        return self._queue[-1].end if self._queue else self._settled_end
+
+    def group_end(self, group: str) -> Optional[float]:
+        """Completion time of the latest *live* request in ``group``.
+
+        Returns None when the group has no requests still in the queue —
+        either none were ever submitted or they all settled (finished long
+        enough ago to be pruned).  Callers that need "done by time t"
+        semantics should combine this with their own submitted-count
+        bookkeeping; the storage layer's write tickets do exactly that.
+        """
+        end: Optional[float] = None
+        for req in self._queue:
+            if req.group == group:
+                end = req.end if end is None else max(end, req.end)
+        return end
+
+    def busy_time_until(self, t: float) -> float:
+        """Total seconds the device was busy in ``[0, t]``."""
+        busy = min(self._settled_busy, t) if self._settled_end > t else self._settled_busy
+        # Settled requests never overlap t in practice (they settled before
+        # the latest submit); the min() above is a cheap guard.
+        for req in self._queue:
+            if req.start >= t:
+                break
+            busy += min(req.end, t) - req.start
+        return busy
+
+    def bytes_by_role(self) -> Dict[tuple, int]:
+        """Copy of (stream role, kind) -> bytes accounting."""
+        return {k: v for k, v in self._bytes_by_role.items() if v}
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_by_kind.get("read", 0)
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_by_kind.get("write", 0)
+
+    @property
+    def request_count(self) -> int:
+        """Requests accepted and not cancelled (settled + live)."""
+        return self._settled_count + len(self._queue)
+
+    def pending_requests(self) -> List[ScheduledRequest]:
+        """Snapshot of live (unsettled, uncancelled) requests, FIFO order."""
+        return list(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Timeline({self.name!r}, live={len(self._queue)}, "
+            f"free_at={self.free_at:.6f})"
+        )

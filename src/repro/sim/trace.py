@@ -1,0 +1,113 @@
+"""ASCII Gantt rendering of device timelines.
+
+The whole FastBFS argument is about *when* streams occupy which spindle —
+stay writes hiding under scatter compute, update reads queueing behind
+them, the two-disk rotation separating read and write passes.  With tracing
+enabled (``Machine(..., trace=True)``), :func:`render_gantt` draws exactly
+that: one lane per (device, stream role), time on the x axis.
+
+::
+
+    hdd0/edges    R ▕██████▁▁████▁▁██████
+    hdd0/stay     W ▕▁▁▁▁▁▁██▁▁▁▁██▁▁▁▁▁▁
+    hdd1/updates  W ▕▁▁████▁▁▁▁██▁▁▁▁██▁▁
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.timeline import ScheduledRequest, Timeline
+from repro.utils.units import format_seconds
+
+_FULL = "█"
+_PARTIAL = "▒"
+_IDLE = "·"
+
+
+def lane_key(request: ScheduledRequest) -> Tuple[str, str]:
+    role = Timeline.role_of(request.group)
+    return role, request.kind
+
+
+def render_timeline_gantt(
+    timeline: Timeline,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+) -> str:
+    """Render one device's trace as per-role lanes."""
+    if not timeline.keep_trace:
+        raise SimulationError(
+            f"timeline {timeline.name!r} was not tracing; construct the "
+            "Machine with trace=True"
+        )
+    requests = [r for r in timeline.trace if not r.cancelled]
+    if end is None:
+        end = max((r.end for r in requests), default=start + 1.0)
+    if end <= start:
+        raise SimulationError(f"empty window [{start}, {end})")
+    if width < 10:
+        raise SimulationError("width must be >= 10 characters")
+
+    lanes: Dict[Tuple[str, str], List[ScheduledRequest]] = {}
+    for req in requests:
+        lanes.setdefault(lane_key(req), []).append(req)
+
+    cell = (end - start) / width
+    lines = [
+        f"{timeline.name}: [{format_seconds(start)} .. {format_seconds(end)}]"
+        f"  ({format_seconds(cell)}/cell)"
+    ]
+    label_width = max(
+        (len(f"{role}[{kind[0].upper()}]") for role, kind in lanes), default=8
+    )
+    for (role, kind), reqs in sorted(lanes.items()):
+        coverage = [0.0] * width
+        for req in reqs:
+            lo = max(req.start, start)
+            hi = min(req.end, end)
+            if hi <= lo:
+                continue
+            first = int((lo - start) / cell)
+            last = min(int((hi - start) / cell), width - 1)
+            for i in range(first, last + 1):
+                cell_lo = start + i * cell
+                cell_hi = cell_lo + cell
+                coverage[i] += max(
+                    0.0, min(hi, cell_hi) - max(lo, cell_lo)
+                ) / cell
+        chars = "".join(
+            _FULL if c >= 0.75 else (_PARTIAL if c > 0.05 else _IDLE)
+            for c in coverage
+        )
+        label = f"{role}[{kind[0].upper()}]".ljust(label_width)
+        lines.append(f"  {label} {chars}")
+    if len(lines) == 1:
+        lines.append("  (no requests in window)")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    machine,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+    include_ram: bool = False,
+) -> str:
+    """Render every device of a traced machine, on a shared time axis."""
+    devices = machine.disks + ([machine.ram] if include_ram else [])
+    if end is None:
+        ends = [
+            r.end
+            for dev in devices
+            for r in dev.timeline.trace
+            if not r.cancelled
+        ]
+        end = max(ends, default=start + 1.0)
+    blocks = [
+        render_timeline_gantt(dev.timeline, start=start, end=end, width=width)
+        for dev in devices
+    ]
+    return "\n".join(blocks)

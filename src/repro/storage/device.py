@@ -1,0 +1,179 @@
+"""Block-device timing model.
+
+A device turns a request (kind, size, file, offset) into a service time:
+
+``service = seeks * seek_time + nbytes / bandwidth``
+
+A *seek* is charged whenever the request does not continue sequentially from
+the previous request on the same device (different file, or a jump within the
+file).  That single rule reproduces the phenomena the paper leans on: long
+sequential streams run at full bandwidth, interleaving two streams on one
+spindle thrashes the head, and SSDs barely care.
+
+Presets are calibrated to the paper's hardware generation (2016 commodity
+parts); see ``repro.analysis.calibration`` for how they combine with the
+compute model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import StorageError
+from repro.sim.timeline import ScheduledRequest, Timeline
+from repro.utils.units import GB, MB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static performance parameters of one device."""
+
+    name: str
+    seek_time: float  # seconds per non-sequential access
+    read_bandwidth: float  # bytes/second
+    write_bandwidth: float  # bytes/second
+    kind: str = "hdd"  # "hdd" | "ssd" | "ram" (reporting only)
+
+    def __post_init__(self) -> None:
+        if self.seek_time < 0:
+            raise StorageError(f"seek_time must be >= 0, got {self.seek_time}")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise StorageError("bandwidths must be positive")
+
+    # ------------------------------------------------------------------
+    # presets (2016-era commodity parts, matching the paper's test bed)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def hdd(name: str = "hdd0") -> "DeviceSpec":
+        """7200RPM SATA3 disk (Seagate Barracuda class)."""
+        return DeviceSpec(
+            name=name,
+            seek_time=8.5e-3,
+            read_bandwidth=140 * MB,
+            write_bandwidth=130 * MB,
+            kind="hdd",
+        )
+
+    @staticmethod
+    def ssd(name: str = "ssd0") -> "DeviceSpec":
+        """SATA2 SSD (EJITEC EJS1125A class)."""
+        return DeviceSpec(
+            name=name,
+            seek_time=0.08e-3,
+            read_bandwidth=260 * MB,
+            write_bandwidth=210 * MB,
+            kind="ssd",
+        )
+
+    @staticmethod
+    def ram(name: str = "ram") -> "DeviceSpec":
+        """Main-memory 'device' for in-memory processing mode."""
+        return DeviceSpec(
+            name=name,
+            seek_time=0.0,
+            read_bandwidth=8 * GB,
+            write_bandwidth=8 * GB,
+            kind="ram",
+        )
+
+    def renamed(self, name: str) -> "DeviceSpec":
+        return replace(self, name=name)
+
+
+class Device:
+    """A block device: a :class:`DeviceSpec` plus a request timeline."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.timeline = Timeline(spec.name)
+        # (file id, next sequential offset) of the last scheduled request.
+        self._head: Optional[Tuple[int, int]] = None
+        self._seek_count = 0
+        #: Optional shared OS page cache (see repro.storage.pagecache).
+        self.cache = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def service_time(self, kind: str, nbytes: int, seeks: int) -> float:
+        bandwidth = (
+            self.spec.read_bandwidth if kind == "read" else self.spec.write_bandwidth
+        )
+        return seeks * self.spec.seek_time + nbytes / bandwidth
+
+    def submit(
+        self,
+        submit_time: float,
+        kind: str,
+        nbytes: int,
+        file_id: int,
+        offset: int,
+        group: str = "",
+    ) -> ScheduledRequest:
+        """Queue one request; returns its placement on the timeline.
+
+        Sequential continuation (same file, offset where the head was left)
+        costs no seek.  Approximation: cancellations do not restore the head
+        position — a cancelled queued write still counts as having moved the
+        head for the *next* request's seek decision.  This slightly overcounts
+        seeks (pessimistic for FastBFS), never under.
+
+        With an attached page cache, reads only pay the disk for the blocks
+        not resident; a fully-cached read completes instantly without
+        touching the timeline (and without counting as device bytes — the
+        paper's "input data amount" is what reaches the disk).
+        """
+        disk_bytes = nbytes
+        if self.cache is not None:
+            if kind == "read":
+                disk_bytes = self.cache.read(file_id, offset, nbytes)
+                if disk_bytes == 0:
+                    # RAM-speed hit: an already-complete pseudo-request.
+                    return ScheduledRequest(
+                        group=group, kind=kind, nbytes=0,
+                        submit=submit_time, service=0.0,
+                        start=submit_time, end=submit_time,
+                    )
+            else:
+                self.cache.write(file_id, offset, nbytes)
+        seeks = 0
+        if self.spec.seek_time > 0.0:
+            if self._head is None or self._head != (file_id, offset):
+                seeks = 1
+        self._head = (file_id, offset + nbytes)
+        self._seek_count += seeks
+        service = self.service_time(kind, disk_bytes, seeks)
+        return self.timeline.schedule(
+            submit=submit_time,
+            service=service,
+            nbytes=disk_bytes,
+            kind=kind,
+            group=group,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def bytes_read(self) -> int:
+        return self.timeline.bytes_read
+
+    @property
+    def bytes_written(self) -> int:
+        return self.timeline.bytes_written
+
+    @property
+    def seek_count(self) -> int:
+        return self._seek_count
+
+    @property
+    def free_at(self) -> float:
+        return self.timeline.free_at
+
+    def busy_time_until(self, t: float) -> float:
+        return self.timeline.busy_time_until(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.spec.name!r}, kind={self.spec.kind})"

@@ -1,0 +1,224 @@
+"""The simulated single server: clock, devices, RAM, memory budget, cores.
+
+One :class:`Machine` corresponds to one engine execution on the paper's test
+bed.  Engines get their clock, their disks, a RAM pseudo-device (for the
+in-memory processing mode of Fig. 9), and the working-memory budget that
+drives partitioning decisions.  :meth:`Machine.report` snapshots everything
+the evaluation section measures: execution time, per-device byte counts,
+iowait time and ratio, and the compute breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.sim.clock import SimClock
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.vfs import VFS
+from repro.utils.units import format_bytes, format_seconds, parse_bytes
+
+
+@dataclass
+class DeviceReport:
+    """I/O accounting for one device over a run."""
+
+    name: str
+    kind: str
+    bytes_read: int
+    bytes_written: int
+    seek_count: int
+    busy_time: float
+    #: (stream role, "read"/"write") -> bytes, e.g. ("stay", "write").
+    bytes_by_role: Dict[tuple, int] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class IOReport:
+    """Everything the paper's evaluation measures, for one engine run."""
+
+    execution_time: float
+    compute_time: float
+    iowait_time: float
+    compute_breakdown: Dict[str, float] = field(default_factory=dict)
+    devices: List[DeviceReport] = field(default_factory=list)
+
+    @property
+    def iowait_ratio(self) -> float:
+        if self.execution_time <= 0:
+            return 0.0
+        return self.iowait_time / self.execution_time
+
+    def _disk_devices(self) -> List[DeviceReport]:
+        return [d for d in self.devices if d.kind != "ram"]
+
+    @property
+    def bytes_read(self) -> int:
+        """Bytes read from persistent devices (the paper's 'input data amount')."""
+        return sum(d.bytes_read for d in self._disk_devices())
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.bytes_written for d in self._disk_devices())
+
+    @property
+    def bytes_total(self) -> int:
+        """Overall data amount moved to/from persistent devices."""
+        return self.bytes_read + self.bytes_written
+
+    def bytes_by_role(self) -> Dict[tuple, int]:
+        """Aggregate (stream role, kind) -> bytes over persistent devices.
+
+        Roles are stream-group prefixes: ``edges``, ``updates``, ``stay``,
+        ``vertices``, ``input``, ``partition`` — the attribution behind the
+        Fig. 5 discussion of where FastBFS's savings and extra writes live.
+        """
+        totals: Dict[tuple, int] = {}
+        for dev in self._disk_devices():
+            for key, value in dev.bytes_by_role.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def summary(self) -> str:
+        lines = [
+            f"time={format_seconds(self.execution_time)} "
+            f"(compute={format_seconds(self.compute_time)}, "
+            f"iowait={format_seconds(self.iowait_time)}, "
+            f"iowait_ratio={self.iowait_ratio:.1%})",
+            f"read={format_bytes(self.bytes_read)} "
+            f"written={format_bytes(self.bytes_written)}",
+        ]
+        for d in self.devices:
+            lines.append(
+                f"  {d.name}[{d.kind}]: read={format_bytes(d.bytes_read)} "
+                f"written={format_bytes(d.bytes_written)} seeks={d.seek_count} "
+                f"busy={format_seconds(d.busy_time)}"
+            )
+        return "\n".join(lines)
+
+
+class Machine:
+    """A simulated commodity server for one engine run.
+
+    Machines are cheap; build a fresh one per run so timelines and byte
+    counters start from zero (see :meth:`fresh`).
+    """
+
+    def __init__(
+        self,
+        disks: Sequence[DeviceSpec],
+        memory: Union[int, str] = "4GB",
+        cores: int = 4,
+        trace: bool = False,
+        page_cache: Union[int, str, None] = None,
+    ) -> None:
+        if not disks:
+            raise ConfigError("a machine needs at least one persistent disk")
+        if cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {cores}")
+        names = [spec.name for spec in disks]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate device names: {names}")
+        self.clock = SimClock()
+        self.disks: List[Device] = [Device(spec) for spec in disks]
+        self.ram = Device(DeviceSpec.ram())
+        self.trace = trace
+        if trace:
+            for dev in [*self.disks, self.ram]:
+                dev.timeline.keep_trace = True
+        self.page_cache = None
+        if page_cache is not None:
+            from repro.storage.pagecache import PageCache
+
+            cache_bytes = parse_bytes(page_cache)
+            if cache_bytes > 0:
+                # One shared cache across all disks, like the OS's.
+                self.page_cache = PageCache(cache_bytes)
+                for dev in self.disks:
+                    dev.cache = self.page_cache
+        self.memory_bytes = parse_bytes(memory)
+        if self.memory_bytes <= 0:
+            raise ConfigError("memory budget must be positive")
+        self.cores = cores
+        self.vfs = VFS()
+        self._disk_specs = list(disks)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def commodity_server(
+        memory: Union[int, str] = "4GB",
+        cores: int = 4,
+        num_disks: int = 1,
+        disk_kind: str = "hdd",
+    ) -> "Machine":
+        """The paper's test bed: Xeon X5472-class box, 4GB working memory.
+
+        ``disk_kind`` is ``"hdd"`` or ``"ssd"``; ``num_disks`` is 1 or 2 in
+        the paper's experiments but any positive count is accepted.
+        """
+        if disk_kind == "hdd":
+            specs = [DeviceSpec.hdd(f"hdd{i}") for i in range(num_disks)]
+        elif disk_kind == "ssd":
+            specs = [DeviceSpec.ssd(f"ssd{i}") for i in range(num_disks)]
+        else:
+            raise ConfigError(f"unknown disk kind {disk_kind!r}")
+        return Machine(specs, memory=memory, cores=cores)
+
+    def fresh(self) -> "Machine":
+        """A new machine with identical hardware and a zeroed clock/VFS."""
+        return Machine(self._disk_specs, memory=self.memory_bytes, cores=self.cores)
+
+    # ------------------------------------------------------------------
+    # device access
+    # ------------------------------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        return len(self.disks)
+
+    def disk(self, index: int) -> Device:
+        """Persistent disk by index; out-of-range indices clamp to the last
+        disk so single-disk machines accept configs written for two."""
+        if index < 0:
+            raise ConfigError(f"disk index must be >= 0, got {index}")
+        return self.disks[min(index, len(self.disks) - 1)]
+
+    def all_devices(self) -> List[Device]:
+        return [*self.disks, self.ram]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> IOReport:
+        now = self.clock.now
+        return IOReport(
+            execution_time=self.clock.elapsed,
+            compute_time=self.clock.compute_time,
+            iowait_time=self.clock.iowait_time,
+            compute_breakdown=self.clock.compute_breakdown(),
+            devices=[
+                DeviceReport(
+                    name=dev.name,
+                    kind=dev.spec.kind,
+                    bytes_read=dev.bytes_read,
+                    bytes_written=dev.bytes_written,
+                    seek_count=dev.seek_count,
+                    busy_time=dev.busy_time_until(now),
+                    bytes_by_role=dev.timeline.bytes_by_role(),
+                )
+                for dev in self.all_devices()
+            ],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(d.spec.kind for d in self.disks)
+        return (
+            f"Machine(disks=[{kinds}], memory={format_bytes(self.memory_bytes)}, "
+            f"cores={self.cores})"
+        )

@@ -1,0 +1,250 @@
+"""Buffered sequential streams over virtual files.
+
+These classes are where the data path (numpy record arrays) meets the time
+path (device timelines + the engine clock):
+
+* :class:`StreamReader` — iterate a file in buffer-sized views with a
+  configurable prefetch depth.  With depth >= 2 the next buffer's read is in
+  flight while the engine computes on the current one, which is exactly the
+  edge-streaming pipeline X-Stream (and FastBFS) use to overlap I/O and
+  compute.
+* :class:`StreamWriter` — buffered appends whose flushes are queued on the
+  device without blocking the engine; :meth:`StreamWriter.drain` is the
+  barrier ("updates must be durable before the gather phase starts").
+* :class:`AsyncStreamWriter` — the dedicated stay-list writer thread of
+  FastBFS §III: a private pool of edge buffers, fire-and-forget flushes that
+  only block when the pool is exhausted, a readiness query, and
+  cancellation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.sim.clock import SimClock
+from repro.sim.timeline import ScheduledRequest
+from repro.storage.vfs import VirtualFile
+
+
+class StreamReader:
+    """Sequential buffered reader with prefetch.
+
+    Iterating yields zero-copy views of at most ``records_per_buffer``
+    records.  Each view's read request was charged to the file's device; the
+    engine clock blocks (iowait) until that request completes.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        file: VirtualFile,
+        buffer_bytes: int,
+        prefetch: int = 2,
+        group: str = "",
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise StorageError(f"buffer_bytes must be positive, got {buffer_bytes}")
+        if prefetch < 1:
+            raise StorageError(f"prefetch depth must be >= 1, got {prefetch}")
+        self.clock = clock
+        self.file = file
+        self.group = group or f"read:{file.name}"
+        self.prefetch = prefetch
+        record_size = file.record_size
+        self.records_per_buffer = (
+            max(1, buffer_bytes // record_size) if record_size else 0
+        )
+        self._total = file.num_records
+        self._next_submit = 0  # next record index to request
+        self._pending: Deque[tuple] = deque()  # (request, start_record, count)
+        self.buffers_read = 0
+
+    def _fill(self) -> None:
+        while len(self._pending) < self.prefetch and self._next_submit < self._total:
+            count = min(self.records_per_buffer, self._total - self._next_submit)
+            offset = self._next_submit * self.file.record_size
+            req = self.file.device.submit(
+                submit_time=self.clock.now,
+                kind="read",
+                nbytes=count * self.file.record_size,
+                file_id=self.file.file_id,
+                offset=offset,
+                group=self.group,
+            )
+            self._pending.append((req, self._next_submit, count))
+            self._next_submit += count
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self
+
+    def __next__(self) -> np.ndarray:
+        self._fill()
+        if not self._pending:
+            raise StopIteration
+        req, start, count = self._pending.popleft()
+        self.clock.wait_until(req.end)
+        self._fill()  # keep the pipeline full while we go compute
+        self.buffers_read += 1
+        return self.file.read_records(start, count)
+
+
+class StreamWriter:
+    """Buffered appender; flushes are queued writes, ``drain()`` is a barrier."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        file: VirtualFile,
+        buffer_bytes: int,
+        group: str = "",
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise StorageError(f"buffer_bytes must be positive, got {buffer_bytes}")
+        self.clock = clock
+        self.file = file
+        self.buffer_bytes = buffer_bytes
+        self.group = group or f"write:{file.name}"
+        self._pending: List[np.ndarray] = []
+        self._pending_bytes = 0
+        self._requests: List[ScheduledRequest] = []
+        self.records_written = 0
+        self.flush_count = 0
+        self.closed = False
+
+    def append(self, arr: np.ndarray) -> None:
+        if self.closed:
+            raise StorageError(f"writer for {self.file.name!r} is closed")
+        if len(arr) == 0:
+            return
+        self._pending.append(arr)
+        self._pending_bytes += arr.nbytes
+        self.records_written += len(arr)
+        if self._pending_bytes >= self.buffer_bytes:
+            self.flush()
+
+    def flush(self) -> Optional[ScheduledRequest]:
+        """Submit buffered records as one device write (non-blocking)."""
+        if not self._pending:
+            return None
+        chunk = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else np.concatenate(self._pending)
+        )
+        offset = self.file.nbytes
+        self.file.append_records(chunk)
+        req = self._submit(chunk.nbytes, offset)
+        self._pending = []
+        self._pending_bytes = 0
+        self.flush_count += 1
+        return req
+
+    def _submit(self, nbytes: int, offset: int) -> ScheduledRequest:
+        req = self.file.device.submit(
+            submit_time=self.clock.now,
+            kind="write",
+            nbytes=nbytes,
+            file_id=self.file.file_id,
+            offset=offset,
+            group=self.group,
+        )
+        self._requests.append(req)
+        return req
+
+    def drain(self) -> None:
+        """Flush and block until every submitted write has completed."""
+        self.flush()
+        end = self.last_end
+        if end is not None:
+            self.clock.wait_until(end)
+
+    @property
+    def last_end(self) -> Optional[float]:
+        """Completion time of the latest uncancelled write, if any."""
+        ends = [r.end for r in self._requests if not r.cancelled]
+        return max(ends) if ends else None
+
+    def close(self, drain: bool = True) -> None:
+        """Flush remaining records; optionally barrier; seal the file."""
+        if self.closed:
+            return
+        if drain:
+            self.drain()
+        else:
+            self.flush()
+        self.closed = True
+        self.file.seal()
+
+
+class AsyncStreamWriter(StreamWriter):
+    """Stay-list writer: private buffer pool, asynchronous flushes.
+
+    The engine only blocks here when all ``num_buffers`` private buffers hold
+    writes still in flight (paper §III condition 1).  Readiness of the whole
+    file and cancellation of the not-yet-started tail are exposed for the
+    cross-iteration swap logic (condition 2).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        file: VirtualFile,
+        buffer_bytes: int,
+        num_buffers: int = 4,
+        group: str = "",
+    ) -> None:
+        if num_buffers < 1:
+            raise StorageError(f"num_buffers must be >= 1, got {num_buffers}")
+        super().__init__(clock, file, buffer_bytes, group or f"stay:{file.name}")
+        self.num_buffers = num_buffers
+        self.pool_waits = 0  # times the engine stalled on buffer exhaustion
+        self.cancelled = False
+
+    def _live_requests(self) -> List[ScheduledRequest]:
+        now = self.clock.now
+        return [r for r in self._requests if not r.cancelled and r.end > now]
+
+    @property
+    def buffers_in_flight(self) -> int:
+        return len(self._live_requests())
+
+    def _submit(self, nbytes: int, offset: int) -> ScheduledRequest:
+        live = self._live_requests()
+        if len(live) >= self.num_buffers:
+            # All private buffers are tied to in-flight writes: wait for the
+            # oldest to land (this is the only sync point in the fast path).
+            self.pool_waits += 1
+            self.clock.wait_until(min(r.end for r in live))
+        return super()._submit(nbytes, offset)
+
+    def ready_at(self) -> float:
+        """Time at which every submitted write will have completed."""
+        end = self.last_end
+        return end if end is not None else self.clock.now
+
+    def is_ready(self, grace: float = 0.0) -> bool:
+        """Would the file be durable within ``grace`` seconds from now?"""
+        return self.ready_at() <= self.clock.now + grace
+
+    def cancel(self) -> int:
+        """Abort the write-back: drop queued (unstarted) requests.
+
+        In-flight requests finish (the head is already committed to them);
+        their time and bytes stay charged — that is the cost the paper's
+        cancellation mechanism accepts.  Returns the number of requests
+        cancelled.  The caller is expected to discard the output file.
+        """
+        self._pending = []  # never-submitted records die with the file
+        self._pending_bytes = 0
+        now = self.clock.now
+        mine = {id(r) for r in self._requests}
+        dropped = self.file.device.timeline.cancel(
+            now, lambda r: id(r) in mine and not r.cancelled
+        )
+        self.cancelled = True
+        self.closed = True
+        return len(dropped)

@@ -1,0 +1,189 @@
+"""Virtual filesystem: named record files living on simulated devices.
+
+A :class:`VirtualFile` stores real numpy record arrays (the engines' data
+path) while its timing lives on the owning device's timeline (the time
+path).  Files are append-only while open, then sealed into one contiguous
+array for zero-copy streamed reads.
+
+The VFS supports the file-level operations FastBFS needs each iteration:
+create, delete, and atomic *replace* (swapping a freshly written stay file in
+for the previous edge file).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.device import Device
+
+
+class VirtualFile:
+    """An append-only record file on one device."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, device: Device) -> None:
+        self.name = name
+        self.device = device
+        self.file_id = next(self._ids)
+        self._chunks: List[np.ndarray] = []
+        self._sealed: Optional[np.ndarray] = None
+        self._nbytes = 0
+        self._num_records = 0
+        self._dtype: Optional[np.dtype] = None
+        self.deleted = False
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def append_records(self, arr: np.ndarray) -> None:
+        """Append a record array (data only; timing is the writer's job)."""
+        self._check_alive()
+        if self._sealed is not None:
+            raise StorageError(f"file {self.name!r} is sealed; cannot append")
+        if arr.ndim != 1:
+            raise StorageError(
+                f"files hold 1-D record arrays, got shape {arr.shape} for {self.name!r}"
+            )
+        if self._dtype is None:
+            self._dtype = arr.dtype
+        elif arr.dtype != self._dtype:
+            raise StorageError(
+                f"dtype mismatch appending to {self.name!r}: "
+                f"{arr.dtype} != {self._dtype}"
+            )
+        self._chunks.append(arr)
+        self._nbytes += arr.nbytes
+        self._num_records += len(arr)
+
+    def seal(self) -> None:
+        """Concatenate chunks into one contiguous array (idempotent)."""
+        self._check_alive()
+        if self._sealed is None:
+            if self._chunks:
+                self._sealed = (
+                    self._chunks[0]
+                    if len(self._chunks) == 1
+                    else np.concatenate(self._chunks)
+                )
+            else:
+                dtype = self._dtype if self._dtype is not None else np.uint8
+                self._sealed = np.empty(0, dtype=dtype)
+            self._chunks = []
+
+    def records(self) -> np.ndarray:
+        """The full contents as one contiguous array (seals the file)."""
+        self.seal()
+        assert self._sealed is not None
+        return self._sealed
+
+    def read_records(self, start: int, count: int) -> np.ndarray:
+        """Zero-copy view of ``count`` records beginning at ``start``."""
+        data = self.records()
+        if start < 0 or start > len(data):
+            raise StorageError(
+                f"read out of range in {self.name!r}: start={start}, len={len(data)}"
+            )
+        return data[start : start + count]
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per record; 0 for an empty file with unknown dtype."""
+        if self._dtype is None:
+            return 0
+        return self._dtype.itemsize
+
+    @property
+    def dtype(self) -> Optional[np.dtype]:
+        return self._dtype
+
+    def _check_alive(self) -> None:
+        if self.deleted:
+            raise StorageError(f"file {self.name!r} was deleted")
+
+    def __len__(self) -> int:
+        return self._num_records
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualFile({self.name!r}, records={self._num_records}, "
+            f"device={self.device.name!r})"
+        )
+
+
+class VFS:
+    """Flat namespace of virtual files across a machine's devices."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, VirtualFile] = {}
+
+    def create(self, name: str, device: Device, overwrite: bool = False) -> VirtualFile:
+        if name in self._files:
+            if not overwrite:
+                raise StorageError(f"file {name!r} already exists")
+            self.delete(name)
+        f = VirtualFile(name, device)
+        self._files[name] = f
+        return f
+
+    def get(self, name: str) -> VirtualFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        f = self._files.pop(name, None)
+        if f is None:
+            raise StorageError(f"no such file {name!r}")
+        f.deleted = True
+
+    def delete_if_exists(self, name: str) -> None:
+        if name in self._files:
+            self.delete(name)
+
+    def replace(self, new_name: str, target_name: str) -> VirtualFile:
+        """Atomically install file ``new_name`` as ``target_name``.
+
+        Mirrors FastBFS step 5: "replace the previous edge files with the new
+        stay files as future input".  The displaced target (if any) is
+        deleted.
+        """
+        f = self.get(new_name)
+        if target_name in self._files and target_name != new_name:
+            self.delete(target_name)
+        del self._files[new_name]
+        f.name = target_name
+        self._files[target_name] = f
+        return f
+
+    def names(self) -> List[str]:
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        """Sum of live file sizes (modeled disk occupancy)."""
+        return sum(f.nbytes for f in self._files.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)

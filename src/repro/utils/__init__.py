@@ -1,0 +1,24 @@
+"""Shared small utilities: byte-size/time formatting and RNG helpers."""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    format_bytes,
+    format_seconds,
+    parse_bytes,
+)
+from repro.utils.rng import rng_from_seed, spawn_rngs
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "format_bytes",
+    "format_seconds",
+    "parse_bytes",
+    "rng_from_seed",
+    "spawn_rngs",
+]

@@ -1,0 +1,90 @@
+"""Byte-size and time formatting/parsing helpers.
+
+The storage simulator works in plain integers (bytes) and floats (seconds).
+These helpers keep configuration human-readable ("256MB", "1.5GB") and keep
+report output compact.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+TB = 1024**4
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "KIB": KB,
+    "M": MB,
+    "MB": MB,
+    "MIB": MB,
+    "G": GB,
+    "GB": GB,
+    "GIB": GB,
+    "T": TB,
+    "TB": TB,
+    "TIB": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_bytes(value) -> int:
+    """Parse a byte count from an int, float, or a string like ``"256MB"``.
+
+    Unit suffixes are case-insensitive and interpreted as binary multiples
+    (1 MB = 2**20 bytes), matching how the paper quotes memory budgets.
+    """
+    if isinstance(value, bool):
+        raise ConfigError(f"cannot interpret {value!r} as a byte count")
+    if isinstance(value, int):
+        if value < 0:
+            raise ConfigError(f"byte count must be >= 0, got {value}")
+        return value
+    if isinstance(value, float):
+        if value < 0 or value != value:  # NaN check
+            raise ConfigError(f"byte count must be >= 0, got {value}")
+        return int(value)
+    if isinstance(value, str):
+        match = _SIZE_RE.match(value)
+        if match is None:
+            raise ConfigError(f"cannot parse byte count from {value!r}")
+        number, unit = match.groups()
+        multiplier = _UNITS.get(unit.upper())
+        if multiplier is None:
+            raise ConfigError(f"unknown size unit {unit!r} in {value!r}")
+        return int(float(number) * multiplier)
+    raise ConfigError(f"cannot interpret {value!r} as a byte count")
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(3 * GB)``."""
+    nbytes = float(nbytes)
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(nbytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes >= factor:
+            return f"{sign}{nbytes / factor:.2f}{unit}"
+    return f"{sign}{nbytes:.0f}B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly: ``950ms``, ``12.3s``, ``4m02s``, ``1h12m``."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{int(minutes)}m{secs:02.0f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes):02d}m"

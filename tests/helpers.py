@@ -1,0 +1,49 @@
+"""Importable test helpers (fixtures stay in conftest.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FastBFSConfig
+from repro.engines.base import EngineConfig
+from repro.storage.device import DeviceSpec
+from repro.storage.machine import Machine
+from repro.utils.units import KB, MB
+
+
+def fresh_machine(num_disks: int = 1, memory: int = 2 * MB, cores: int = 4,
+                  disk_kind: str = "hdd") -> Machine:
+    """A small out-of-core test machine."""
+    if disk_kind == "hdd":
+        specs = [DeviceSpec.hdd(f"hdd{i}") for i in range(num_disks)]
+    else:
+        specs = [DeviceSpec.ssd(f"ssd{i}") for i in range(num_disks)]
+    return Machine(specs, memory=memory, cores=cores)
+
+
+def small_engine_config(**overrides) -> EngineConfig:
+    """Out-of-core config with tiny buffers so streaming paths are exercised."""
+    base = dict(
+        edge_buffer_bytes=2 * KB,
+        update_buffer_bytes=1 * KB,
+        num_partitions=4,
+        allow_in_memory=False,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def small_fastbfs_config(**overrides) -> FastBFSConfig:
+    base = dict(
+        edge_buffer_bytes=2 * KB,
+        update_buffer_bytes=1 * KB,
+        stay_buffer_bytes=1 * KB,
+        num_partitions=4,
+        allow_in_memory=False,
+    )
+    base.update(overrides)
+    return FastBFSConfig(**base)
+
+
+def hub_root(graph) -> int:
+    return int(np.argmax(graph.out_degrees()))

@@ -1,0 +1,83 @@
+"""Tests for machine-readable result export."""
+
+import csv
+import json
+
+import pytest
+
+from tests.helpers import fresh_machine, hub_root, small_fastbfs_config
+
+from repro.analysis.export import (
+    iteration_records,
+    result_to_record,
+    write_csv,
+    write_json,
+)
+from repro.core.engine import FastBFSEngine
+from repro.errors import ConfigError
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    graph = rmat_graph(scale=9, edge_factor=8, seed=31)
+    return FastBFSEngine(small_fastbfs_config()).run(
+        graph, fresh_machine(), root=hub_root(graph)
+    )
+
+
+class TestRecords:
+    def test_flat_record_fields(self, result):
+        record = result_to_record(result, dataset="rmat9", disk_kind="hdd")
+        assert record["engine"] == "fastbfs"
+        assert record["dataset"] == "rmat9"
+        assert record["execution_time_s"] == result.execution_time
+        assert record["bytes_read"] == result.report.bytes_read
+        assert "extra_stay_swaps" in record
+
+    def test_record_json_safe(self, result):
+        record = result_to_record(result)
+        json.dumps(record, default=float)  # must not raise
+
+    def test_iteration_records(self, result):
+        rows = iteration_records(result, dataset="rmat9")
+        assert len(rows) == result.num_iterations
+        assert rows[0]["iteration"] == 0
+        assert sum(r["edges_scanned"] for r in rows) == result.edges_scanned
+
+    def test_time_identity(self, result):
+        record = result_to_record(result)
+        assert record["compute_time_s"] + record["iowait_time_s"] == (
+            pytest.approx(record["execution_time_s"])
+        )
+
+
+class TestWriters:
+    def test_json_roundtrip(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        write_json([result_to_record(result, dataset="a")], path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 1
+        assert loaded[0]["dataset"] == "a"
+
+    def test_csv_union_of_keys(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}], path)
+        rows = list(csv.DictReader(path.open()))
+        assert rows[0]["a"] == "1"
+        assert rows[1]["c"] == "4"
+        assert rows[0]["c"] == ""  # missing cell empty
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_csv_of_real_results(self, result, tmp_path):
+        path = tmp_path / "runs.csv"
+        write_csv(
+            [result_to_record(result, dataset="rmat9")]
+            + [dict(r) for r in iteration_records(result, dataset="rmat9")][:0],
+            path,
+        )
+        rows = list(csv.DictReader(path.open()))
+        assert rows[0]["engine"] == "fastbfs"

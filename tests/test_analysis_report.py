@@ -1,0 +1,57 @@
+"""Tests for the programmatic reproduction report + CLI subcommand."""
+
+import pytest
+
+from repro.analysis.harness import ExperimentRunner
+from repro.analysis.report import ALL_FIGURES, build_report
+from repro.cli import main
+from repro.errors import ConfigError
+
+DIV = 4096
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(divisor=DIV)
+
+
+class TestBuildReport:
+    def test_full_report_renders(self, runner):
+        report = build_report(runner, datasets=["rmat25"])
+        assert report.startswith("# FastBFS reproduction report")
+        for marker in ("Fig. 1", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7",
+                       "Fig. 8", "Fig. 9", "Fig. 10", "Table I", "Table II"):
+            assert marker in report, marker
+        assert f"scale divisor: {DIV}" in report
+
+    def test_subset(self, runner):
+        report = build_report(runner, figures=["fig4"], datasets=["rmat25"])
+        assert "Fig. 4" in report
+        assert "Fig. 9" not in report
+
+    def test_unknown_figure(self, runner):
+        with pytest.raises(ConfigError):
+            build_report(runner, figures=["fig99"])
+
+    def test_speedup_rows_include_paper_ranges(self, runner):
+        report = build_report(runner, figures=["fig4"], datasets=["rmat25"])
+        assert "1.6-2.1x" in report
+        assert "2.4-3.9x" in report
+
+
+class TestCliReproduce:
+    def test_stdout(self, capsys):
+        assert main([
+            "reproduce", "--figures", "table1", "--divisor", str(DIV),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main([
+            "reproduce", "--figures", "fig1", "--datasets", "rmat25",
+            "--divisor", str(DIV), "--output", str(out_file),
+        ]) == 0
+        assert "Fig. 1" in out_file.read_text()
+        assert "wrote report" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Tests for the executable shape claims.
+
+Runs the full scoreboard at a small scale: every qualitative claim from
+the paper's evaluation must hold even on the fast test configuration
+(magnitudes are checked at full scale by the benchmarks).
+"""
+
+import pytest
+
+from repro.analysis.harness import ExperimentRunner
+from repro.analysis.shapes import ShapeResult, check_all, scoreboard
+
+
+@pytest.fixture(scope="module")
+def results():
+    # Divisor 1024 is the smallest scale where every claim is meaningful
+    # (below it, fixed per-buffer compute overheads distort iowait ratios).
+    return check_all(ExperimentRunner(divisor=1024), datasets=["rmat25"])
+
+
+def test_every_claim_has_result(results):
+    assert len(results) >= 10
+    figures = {r.figure for r in results}
+    assert {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} <= figures
+
+
+def test_all_claims_pass_at_small_scale(results):
+    failing = [r for r in results if not r.passed]
+    assert not failing, scoreboard(failing)
+
+
+def test_evidence_recorded(results):
+    for r in results:
+        assert isinstance(r, ShapeResult)
+        assert r.evidence
+
+
+def test_scoreboard_renders(results):
+    text = scoreboard(results)
+    assert "PASS" in text
+    assert "fig9" in text

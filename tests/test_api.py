@@ -1,0 +1,80 @@
+"""Tests for the one-call API front-end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import bfs_levels
+from repro.api import ENGINES, make_engine, run_bfs
+from repro.core.engine import FastBFSEngine
+from repro.engines.graphchi import GraphChiEngine
+from repro.engines.xstream import XStreamEngine
+from repro.errors import ConfigError
+from repro.graph.generators import rmat_graph
+from repro.storage.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=9, edge_factor=8, seed=17)
+
+
+class TestMakeEngine:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fastbfs", FastBFSEngine),
+            ("fast-bfs", FastBFSEngine),
+            ("x-stream", XStreamEngine),
+            ("xstream", XStreamEngine),
+            ("graphchi", GraphChiEngine),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_engine(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_engine("pregel")
+
+    def test_engine_list_constant(self):
+        for name in ENGINES:
+            make_engine(name)
+
+
+class TestRunBfs:
+    def test_default_machine(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        result = run_bfs(graph, root=root)
+        assert np.array_equal(result.levels, bfs_levels(graph, root))
+        assert result.engine == "fastbfs"
+
+    def test_machine_kwargs(self, graph):
+        result = run_bfs(graph, engine="x-stream", memory="8MB", cores=2)
+        assert result.engine == "x-stream"
+
+    def test_explicit_machine(self, graph):
+        machine = Machine.commodity_server(memory="8MB")
+        result = run_bfs(graph, machine=machine)
+        assert result.execution_time > 0
+
+    def test_machine_and_kwargs_conflict(self, graph):
+        with pytest.raises(ConfigError):
+            run_bfs(graph, machine=Machine.commodity_server(), memory="1GB")
+
+    def test_engine_instance_passthrough(self, graph):
+        engine = GraphChiEngine()
+        result = run_bfs(graph, engine=engine, memory="8MB")
+        assert result.engine == "graphchi"
+
+    def test_all_engines_same_levels(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        levels = [
+            run_bfs(graph, engine=e, root=root, memory="8MB").levels
+            for e in ENGINES
+        ]
+        for lv in levels[1:]:
+            assert np.array_equal(lv, levels[0])
+
+    def test_summary_smoke(self, graph):
+        text = run_bfs(graph, memory="8MB").summary()
+        assert "fastbfs" in text

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_graph
+
+
+def run_cli(args):
+    return main(args)
+
+
+class TestGenerate:
+    def test_rmat(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        assert run_cli(["generate", "rmat", out, "--scale", "8"]) == 0
+        g = load_graph(out)
+        assert g.num_vertices == 256
+        assert "wrote" in capsys.readouterr().out
+
+    def test_grid(self, tmp_path):
+        out = str(tmp_path / "grid.bin")
+        assert run_cli(["generate", "grid", out, "--width", "10",
+                        "--height", "10"]) == 0
+        assert load_graph(out).num_vertices == 100
+
+    def test_random(self, tmp_path):
+        out = str(tmp_path / "r.bin")
+        assert run_cli(["generate", "random", out, "--vertices", "100",
+                        "--edges", "500"]) == 0
+        assert load_graph(out).num_edges == 500
+
+    def test_powerlaw(self, tmp_path):
+        out = str(tmp_path / "p.bin")
+        assert run_cli(["generate", "powerlaw", out, "--vertices", "200",
+                        "--edges", "1000"]) == 0
+        assert load_graph(out).num_edges == 1000
+
+
+class TestRun:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "9", "--edge-factor", "8"])
+        return out
+
+    @pytest.mark.parametrize("engine", ["fastbfs", "x-stream", "graphchi"])
+    def test_engines(self, graph_file, capsys, engine):
+        assert run_cli(["run", "--graph", graph_file, "--engine", engine,
+                        "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "TEPS" in out
+        assert "validation: OK" in out
+
+    def test_explicit_root(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--root", "0"]) == 0
+        assert "root: 0" in capsys.readouterr().out
+
+    def test_wcc(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--algorithm", "wcc"]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_wcc_graphchi(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--algorithm", "wcc",
+                        "--engine", "graphchi"]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_sssp(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--algorithm", "sssp",
+                        "--max-weight", "5"]) == 0
+        assert "max distance" in capsys.readouterr().out
+
+    def test_sssp_graphchi_unsupported(self, graph_file):
+        assert run_cli(["run", "--graph", graph_file, "--algorithm", "sssp",
+                        "--engine", "graphchi"]) == 2
+
+    def test_missing_file_errors(self, tmp_path):
+        assert run_cli(["run", "--graph", str(tmp_path / "nope.bin")]) == 1
+
+    def test_ssd_machine(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--disk-kind", "ssd"]) == 0
+
+
+class TestCompare:
+    def test_compare_prints_speedups(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "9"])
+        assert run_cli(["compare", "--graph", out]) == 0
+        text = capsys.readouterr().out
+        assert "x-stream" in text and "graphchi" in text
+        assert "speedup vs X-Stream" in text
+
+
+class TestProfile:
+    def test_profile(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "8"])
+        assert run_cli(["profile", "--graph", out]) == 0
+        text = capsys.readouterr().out
+        assert "frontier" in text
+        assert "saved by trimming" in text
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        assert run_cli(["datasets"]) == 0
+        text = capsys.readouterr().out
+        for name in ("rmat22", "rmat25", "rmat27", "twitter_rv", "friendster"):
+            assert name in text
+
+
+class TestGantt:
+    def test_single_disk(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "8"])
+        # 16MB (paper scale) keeps the run out-of-core so the disk lanes
+        # actually carry the streams.
+        assert run_cli(["gantt", "--graph", out, "--width", "40",
+                        "--memory", "16MB"]) == 0
+        text = capsys.readouterr().out
+        assert "hdd0" in text
+        assert "edges[R]" in text
+        assert "stay[W]" in text
+
+    def test_two_disk_rotation(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "8"])
+        assert run_cli(["gantt", "--graph", out, "--disks", "2",
+                        "--width", "40"]) == 0
+        text = capsys.readouterr().out
+        assert "hdd1" in text
+
+    def test_verbose_run(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "8"])
+        assert run_cli(["run", "--graph", out, "--verbose"]) == 0
+        text = capsys.readouterr().out
+        assert "edges scanned" in text
+        assert "swap/cancel" in text
+
+
+class TestShapes:
+    def test_scoreboard_runs(self, capsys):
+        assert run_cli(["shapes", "--divisor", "1024",
+                        "--datasets", "rmat25"]) == 0
+        text = capsys.readouterr().out
+        assert "claims hold" in text
+        assert "PASS" in text

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Runs each ``examples/*.py`` in-process (imported as a module, ``main()``
+called) at its built-in scale.  The slowest examples are gated behind
+``REPRO_RUN_SLOW_EXAMPLES=1`` so the default test pass stays fast.
+"""
+
+import importlib.util
+import os
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "algorithm_extensions.py",
+]
+SLOW = [
+    "social_network_analysis.py",
+    "multi_disk_pipeline.py",
+    "graph500_run.py",
+    "trimming_tuning.py",
+    "diameter_estimation.py",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip()
+    assert "Error" not in out
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW_EXAMPLES"),
+    reason="set REPRO_RUN_SLOW_EXAMPLES=1 to run the slow example smokes",
+)
+def test_slow_examples(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip()
+
+
+def test_every_example_is_listed():
+    """No example can be added without being smoke-tested."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

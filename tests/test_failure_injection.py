@@ -1,0 +1,156 @@
+"""Failure-path tests: forced cancellations, exhausted buffer pools,
+starved devices — correctness must survive every degraded mode.
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import fresh_machine, hub_root, small_fastbfs_config
+
+from repro.algorithms.reference import bfs_levels
+from repro.core.engine import FastBFSEngine
+from repro.graph.generators import rmat_graph
+from repro.storage.device import DeviceSpec
+from repro.storage.machine import Machine
+from repro.utils.units import MB
+
+
+def slow_write_machine(write_bandwidth=0.5 * MB, memory=2 * MB):
+    """A machine whose writes crawl: stay files are never ready in time."""
+    spec = DeviceSpec(
+        "slow", seek_time=0.0, read_bandwidth=200 * MB,
+        write_bandwidth=write_bandwidth,
+    )
+    return Machine([spec], memory=memory)
+
+
+def slow_stay_disk_machine(write_bandwidth=64 * 1024, memory=2 * MB):
+    """Disk 0 is normal; disk 1 (the stay target) barely writes.
+
+    On a single disk the update drain barrier also flushes the queued stay
+    writes (FIFO), so cancellation can only be forced when stays live on
+    their own, slower device.
+    """
+    specs = [
+        DeviceSpec.hdd("main"),
+        DeviceSpec("slowstay", seek_time=0.0, read_bandwidth=200 * MB,
+                   write_bandwidth=write_bandwidth),
+    ]
+    return Machine(specs, memory=memory)
+
+
+class TestForcedCancellation:
+    def test_zero_grace_with_slow_stay_disk_cancels(self, rmat12):
+        root = hub_root(rmat12)
+        ref = bfs_levels(rmat12, root)
+        engine = FastBFSEngine(
+            small_fastbfs_config(
+                cancellation_grace=0.0, num_stay_buffers=64, stay_disk=1
+            )
+        )
+        result = engine.run(rmat12, slow_stay_disk_machine(), root=root)
+        assert result.extras["stay_cancellations"] > 0
+        assert np.array_equal(result.levels, ref)
+
+    def test_cancellation_falls_back_to_previous_file(self, rmat12):
+        """After a cancel, the next iteration rescans the old edge file —
+        more I/O than the happy path, same answer."""
+        root = hub_root(rmat12)
+        happy = FastBFSEngine(small_fastbfs_config()).run(
+            rmat12, fresh_machine(), root=root
+        )
+        degraded = FastBFSEngine(
+            small_fastbfs_config(
+                cancellation_grace=0.0, num_stay_buffers=64, stay_disk=1
+            )
+        ).run(rmat12, slow_stay_disk_machine(), root=root)
+        assert degraded.extras["stay_cancellations"] > 0
+        assert degraded.edges_scanned >= happy.edges_scanned
+        assert np.array_equal(degraded.levels, happy.levels)
+
+    def test_nonempty_stays_all_cancelled(self, rmat12):
+        """Pathological stay disk: only trivially-empty stay files swap in."""
+        root = hub_root(rmat12)
+        engine = FastBFSEngine(
+            small_fastbfs_config(
+                cancellation_grace=0.0, num_stay_buffers=1024, stay_disk=1
+            )
+        )
+        result = engine.run(
+            rmat12, slow_stay_disk_machine(write_bandwidth=1024), root=root
+        )
+        assert np.array_equal(result.levels, bfs_levels(rmat12, root))
+        assert result.extras["stay_cancellations"] > 0
+        # Edge volume never shrinks via a non-empty swap: scans match the
+        # untrimmed engine until partitions converge outright.
+        untrimmed = FastBFSEngine(
+            small_fastbfs_config(trim_enabled=False)
+        ).run(rmat12, fresh_machine(), root=root)
+        assert result.edges_scanned >= untrimmed.edges_scanned
+
+
+class TestBufferPoolExhaustion:
+    def test_single_buffer_pool_still_correct(self, rmat12):
+        root = hub_root(rmat12)
+        ref = bfs_levels(rmat12, root)
+        engine = FastBFSEngine(
+            small_fastbfs_config(num_stay_buffers=1, stay_buffer_bytes=256)
+        )
+        result = engine.run(rmat12, fresh_machine(), root=root)
+        assert np.array_equal(result.levels, ref)
+        assert result.extras["stay_pool_waits"] > 0
+
+    def test_pool_waits_slow_the_run(self, rmat12):
+        root = hub_root(rmat12)
+        starved = FastBFSEngine(
+            small_fastbfs_config(num_stay_buffers=1, stay_buffer_bytes=256)
+        ).run(rmat12, slow_write_machine(write_bandwidth=2 * MB), root=root)
+        roomy = FastBFSEngine(
+            small_fastbfs_config(num_stay_buffers=64, stay_buffer_bytes=256)
+        ).run(rmat12, slow_write_machine(write_bandwidth=2 * MB), root=root)
+        assert starved.extras["stay_pool_waits"] > roomy.extras["stay_pool_waits"]
+        assert starved.execution_time >= roomy.execution_time
+
+    def test_tunable_buffers_avoid_the_wait(self, rmat12):
+        """Paper §III: 'user can utilize larger memory space and more edge
+        buffers to avoid the first condition'."""
+        root = hub_root(rmat12)
+        result = FastBFSEngine(
+            small_fastbfs_config(num_stay_buffers=256, stay_buffer_bytes=8192)
+        ).run(rmat12, fresh_machine(), root=root)
+        assert result.extras["stay_pool_waits"] == 0
+
+
+class TestDegradedHardware:
+    def test_tiny_memory_many_partitions(self, rmat12):
+        root = hub_root(rmat12)
+        ref = bfs_levels(rmat12, root)
+        machine = fresh_machine(memory=48 * 1024)
+        engine = FastBFSEngine(
+            small_fastbfs_config(num_partitions=None)  # plan from memory
+        )
+        result = engine.run(rmat12, machine, root=root)
+        assert result.extras["partitions"] >= 2
+        assert np.array_equal(result.levels, ref)
+
+    def test_single_core_machine(self, rmat10):
+        root = hub_root(rmat10)
+        machine = fresh_machine(cores=1)
+        result = FastBFSEngine(small_fastbfs_config(threads=8)).run(
+            rmat10, machine, root=root
+        )
+        assert np.array_equal(result.levels, bfs_levels(rmat10, root))
+
+    def test_asymmetric_disks(self, rmat10):
+        """Disk 1 much slower than disk 0: rotation still correct."""
+        root = hub_root(rmat10)
+        specs = [
+            DeviceSpec.hdd("fast"),
+            DeviceSpec("slowdisk", seek_time=0.02, read_bandwidth=10 * MB,
+                       write_bandwidth=5 * MB),
+        ]
+        machine = Machine(specs, memory=2 * MB)
+        result = FastBFSEngine(
+            small_fastbfs_config(rotate_streams=True)
+        ).run(rmat10, machine, root=root)
+        assert np.array_equal(result.levels, bfs_levels(rmat10, root))

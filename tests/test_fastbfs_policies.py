@@ -1,0 +1,60 @@
+"""Unit tests for the trimming activation policy."""
+
+from repro.core.config import FastBFSConfig
+from repro.core.policies import TrimPolicy
+from repro.engines.result import IterationStats
+
+
+def stats(iteration, scanned, updates):
+    s = IterationStats(iteration=iteration)
+    s.edges_scanned = scanned
+    s.updates_generated = updates
+    return s
+
+
+class TestTrimPolicy:
+    def test_default_always_on(self):
+        policy = TrimPolicy(FastBFSConfig(), True)
+        assert policy.trimming_active(0, None)
+        assert policy.trimming_active(5, stats(4, 100, 0))
+
+    def test_disabled_by_config(self):
+        policy = TrimPolicy(FastBFSConfig(trim_enabled=False), True)
+        assert not policy.trimming_active(0, None)
+
+    def test_disabled_by_algorithm(self):
+        policy = TrimPolicy(FastBFSConfig(), False)
+        assert not policy.trimming_active(3, stats(2, 100, 100))
+
+    def test_start_iteration(self):
+        policy = TrimPolicy(FastBFSConfig(trim_start_iteration=3), True)
+        assert not policy.trimming_active(0, None)
+        assert not policy.trimming_active(2, stats(1, 10, 10))
+        assert policy.trimming_active(3, stats(2, 10, 10))
+
+    def test_trigger_waits_for_fraction(self):
+        policy = TrimPolicy(FastBFSConfig(trim_trigger_fraction=0.5), True)
+        assert not policy.trimming_active(1, stats(0, 100, 10))  # 10%
+        assert not policy.trimming_active(2, stats(1, 100, 49))  # 49%
+        assert policy.trimming_active(3, stats(2, 100, 50))  # 50%
+
+    def test_trigger_is_sticky(self):
+        policy = TrimPolicy(FastBFSConfig(trim_trigger_fraction=0.5), True)
+        assert policy.trimming_active(1, stats(0, 100, 90))
+        # Later iterations stay on even if the fraction drops.
+        assert policy.trimming_active(2, stats(1, 100, 1))
+
+    def test_trigger_with_no_history(self):
+        policy = TrimPolicy(FastBFSConfig(trim_trigger_fraction=0.5), True)
+        assert not policy.trimming_active(0, None)
+
+    def test_trigger_ignores_empty_scan(self):
+        policy = TrimPolicy(FastBFSConfig(trim_trigger_fraction=0.5), True)
+        assert not policy.trimming_active(1, stats(0, 0, 0))
+
+    def test_start_iteration_and_trigger_combine(self):
+        cfg = FastBFSConfig(trim_start_iteration=2, trim_trigger_fraction=0.3)
+        policy = TrimPolicy(cfg, True)
+        # Trigger fires at iteration 1 data-wise, but start gate holds.
+        assert not policy.trimming_active(1, stats(0, 100, 90))
+        assert policy.trimming_active(2, stats(1, 100, 90))

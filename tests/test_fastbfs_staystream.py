@@ -1,0 +1,148 @@
+"""Unit tests for the stay-stream manager (swap / cancel lifecycle)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FastBFSConfig
+from repro.core.staystream import StayStreamManager
+from repro.errors import EngineError
+from repro.graph.types import make_edges
+from repro.sim.clock import SimClock
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.vfs import VFS
+from repro.utils.units import MB
+
+
+def edges(n):
+    return make_edges(np.arange(n) % 100, np.arange(n) % 100)
+
+
+@pytest.fixture
+def ctx():
+    clock = SimClock()
+    device = Device(
+        DeviceSpec("d", seek_time=0.0, read_bandwidth=100 * MB,
+                   write_bandwidth=100 * MB)
+    )
+    vfs = VFS()
+    cfg = FastBFSConfig(
+        stay_buffer_bytes=1024, num_stay_buffers=2, cancellation_grace=0.001
+    )
+    return clock, device, vfs, StayStreamManager(clock, vfs, device, cfg)
+
+
+class TestLifecycle:
+    def test_open_append_finish(self, ctx):
+        clock, device, vfs, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(100))
+        mgr.finish_partition(0)
+        assert 0 in mgr.pending_partitions
+        assert mgr.stats.files_written == 1
+        assert mgr.stats.records_written == 100
+
+    def test_double_open_rejected(self, ctx):
+        _, _, _, mgr = ctx
+        mgr.open(0, iteration=0)
+        with pytest.raises(EngineError):
+            mgr.open(0, iteration=0)
+
+    def test_append_without_open_rejected(self, ctx):
+        _, _, _, mgr = ctx
+        with pytest.raises(EngineError):
+            mgr.append(3, edges(1))
+
+    def test_finish_without_open_is_noop(self, ctx):
+        _, _, _, mgr = ctx
+        mgr.finish_partition(5)
+        assert mgr.pending_partitions == {}
+
+    def test_current_accessor(self, ctx):
+        _, _, _, mgr = ctx
+        assert mgr.current(0) is None
+        w = mgr.open(0, iteration=1)
+        assert mgr.current(0) is w
+
+
+class TestResolveInput:
+    def test_keep_when_no_pending(self, ctx):
+        clock, device, vfs, mgr = ctx
+        old = vfs.create("edges:p0", device)
+        f, outcome = mgr.resolve_input(0, old)
+        assert outcome == "keep"
+        assert f is old
+
+    def test_swap_when_ready(self, ctx):
+        clock, device, vfs, mgr = ctx
+        old = vfs.create("edges:p0", device)
+        old.append_records(edges(500))
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(50))
+        mgr.finish_partition(0)
+        clock.charge_compute(1.0)  # plenty of time for the flush to land
+        f, outcome = mgr.resolve_input(0, old)
+        assert outcome == "swap"
+        assert f.name == "edges:p0"  # installed under the edge-file name
+        assert f.num_records == 50
+        assert old.deleted
+        assert mgr.stats.swaps == 1
+
+    def test_swap_waits_within_grace(self, ctx):
+        clock, device, vfs, mgr = ctx
+        old = vfs.create("edges:p0", device)
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(2000))  # flushes ~16KB -> 160us write
+        mgr.finish_partition(0)
+        cfg_grace = mgr.config.cancellation_grace
+        f, outcome = mgr.resolve_input(0, old)
+        assert outcome == "swap"  # 160us < 1ms grace
+        assert clock.iowait_time > 0.0  # the short wait was accounted
+
+    def test_cancel_when_too_slow(self, ctx):
+        clock, device, vfs, mgr = ctx
+        old = vfs.create("edges:p0", device)
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(10**6))  # 8MB: ~80ms >> 1ms grace
+        mgr.finish_partition(0)
+        f, outcome = mgr.resolve_input(0, old)
+        assert outcome == "cancel"
+        assert f is old
+        assert not vfs.exists("stay:p0:i0")
+        assert mgr.stats.cancellations == 1
+
+    def test_cancel_then_next_iteration_can_swap(self, ctx):
+        clock, device, vfs, mgr = ctx
+        old = vfs.create("edges:p0", device)
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(10**6))
+        mgr.finish_partition(0)
+        f, outcome = mgr.resolve_input(0, old)
+        assert outcome == "cancel"
+        # Next iteration writes a smaller stay list that lands in time.
+        mgr.open(0, iteration=1)
+        mgr.append(0, edges(10))
+        mgr.finish_partition(0)
+        clock.charge_compute(1.0)
+        f2, outcome2 = mgr.resolve_input(0, f)
+        assert outcome2 == "swap"
+        assert f2.num_records == 10
+
+
+class TestDiscardAll:
+    def test_discards_pending_and_current(self, ctx):
+        clock, device, vfs, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(10))
+        mgr.finish_partition(0)
+        mgr.open(1, iteration=0)
+        mgr.discard_all()
+        assert mgr.pending_partitions == {}
+        assert mgr.stats.end_of_run_discards == 2
+        assert not vfs.exists("stay:p0:i0")
+        assert not vfs.exists("stay:p1:i0")
+
+    def test_device_override(self, ctx):
+        clock, device, vfs, mgr = ctx
+        other = Device(DeviceSpec.hdd("other"))
+        w = mgr.open(0, iteration=0, device=other)
+        assert w.file.device is other

@@ -1,0 +1,103 @@
+"""Tests for the graph statistics / dataset-fidelity module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    grid_graph,
+    path_graph,
+    powerlaw_graph,
+    random_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph.stats import (
+    degree_histogram,
+    degree_stats,
+    effective_diameter,
+    summarize,
+)
+
+
+class TestDegreeStats:
+    def test_uniform_low_gini(self):
+        stats = degree_stats(np.full(100, 5))
+        assert stats.gini == pytest.approx(0.0, abs=0.02)
+        assert stats.mean == 5
+        assert stats.skew_ratio == 1.0
+
+    def test_hub_high_gini(self):
+        degrees = np.zeros(100)
+        degrees[0] = 1000
+        stats = degree_stats(degrees)
+        assert stats.gini > 0.95
+        assert stats.zero_fraction == 0.99
+
+    def test_rmat_heavier_than_random(self):
+        rmat = degree_stats(rmat_graph(scale=11, edge_factor=8, seed=1).out_degrees())
+        rand = degree_stats(random_graph(2048, 16384, seed=1).out_degrees())
+        assert rmat.gini > rand.gini
+        assert rmat.skew_ratio > rand.skew_ratio
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_stats(np.array([]))
+
+    def test_all_zero(self):
+        stats = degree_stats(np.zeros(10))
+        assert stats.gini == 0.0
+        assert stats.zero_fraction == 1.0
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_vertices(self):
+        g = rmat_graph(scale=9, edge_factor=8, seed=2)
+        hist = degree_histogram(g.out_degrees())
+        assert sum(hist.values()) == g.num_vertices
+
+    def test_zero_bin(self):
+        hist = degree_histogram(np.array([0, 0, 3, 9]))
+        assert hist[0] == 2
+
+    def test_all_zero_degrees(self):
+        hist = degree_histogram(np.zeros(5, dtype=int))
+        assert hist == {0: 5}
+
+
+class TestEffectiveDiameter:
+    def test_path_diameter(self):
+        g = path_graph(50)
+        # From any sampled root the deepest reach is most of the path.
+        d = effective_diameter(g, quantile=1.0, sample_roots=50, seed=1)
+        assert d >= 10
+
+    def test_grid_larger_than_rmat(self):
+        grid = grid_graph(40, 40)
+        rmat = rmat_graph(scale=10, edge_factor=16, seed=1)
+        assert effective_diameter(grid) > effective_diameter(rmat)
+
+    def test_star(self):
+        d = effective_diameter(star_graph(100), quantile=1.0)
+        assert d == 1.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(GraphError):
+            effective_diameter(path_graph(5), quantile=0.0)
+
+    def test_no_out_edges(self):
+        g = star_graph(5, out=False)
+        # Leaves have out-degree 1 (to hub); hub has none; still works.
+        assert effective_diameter(g) >= 0.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        g = powerlaw_graph(500, 5000, out_exponent=2.0, seed=3)
+        summary = summarize(g)
+        assert summary["vertices"] == 500
+        assert summary["edges"] == 5000
+        # In-degrees (exponent 1.9, tighter head) are more concentrated than
+        # the milder out-degree law.
+        assert summary["in_degree"].gini > summary["out_degree"].gini
+        assert summary["effective_diameter"] > 0

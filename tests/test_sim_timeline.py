@@ -1,0 +1,178 @@
+"""Tests for the FIFO device timeline, including cancellation semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TimelineError
+from repro.sim.timeline import Timeline
+
+
+class TestScheduling:
+    def test_idle_device_starts_immediately(self):
+        tl = Timeline()
+        req = tl.schedule(submit=1.0, service=2.0, nbytes=100, kind="read")
+        assert req.start == 1.0
+        assert req.end == 3.0
+        assert req.queue_delay == 0.0
+
+    def test_fifo_queueing(self):
+        tl = Timeline()
+        a = tl.schedule(0.0, 5.0, 10, "read")
+        b = tl.schedule(1.0, 2.0, 10, "write")
+        assert b.start == a.end == 5.0
+        assert b.end == 7.0
+        assert b.queue_delay == 4.0
+
+    def test_gap_between_requests(self):
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 10, "read")
+        b = tl.schedule(10.0, 1.0, 10, "read")
+        assert b.start == 10.0  # device was idle in between
+
+    def test_free_at(self):
+        tl = Timeline()
+        assert tl.free_at == 0.0
+        tl.schedule(0.0, 3.0, 10, "read")
+        assert tl.free_at == 3.0
+
+    def test_zero_service_allowed(self):
+        req = Timeline().schedule(0.0, 0.0, 0, "read")
+        assert req.start == req.end
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(TimelineError):
+            Timeline().schedule(0.0, -1.0, 10, "read")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TimelineError):
+            Timeline().schedule(0.0, 1.0, -1, "read")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(TimelineError):
+            Timeline().schedule(0.0, 1.0, 1, "erase")
+
+    def test_non_monotonic_submission_rejected(self):
+        tl = Timeline()
+        tl.schedule(5.0, 1.0, 10, "read")
+        with pytest.raises(TimelineError):
+            tl.schedule(4.0, 1.0, 10, "read")
+
+    def test_byte_accounting(self):
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 100, "read")
+        tl.schedule(0.0, 1.0, 50, "write")
+        tl.schedule(0.0, 1.0, 25, "read")
+        assert tl.bytes_read == 125
+        assert tl.bytes_written == 50
+
+    def test_request_count(self):
+        tl = Timeline()
+        for i in range(5):
+            tl.schedule(float(i), 0.1, 1, "read")
+        assert tl.request_count == 5
+
+
+class TestCancellation:
+    def test_cancel_queued_request(self):
+        tl = Timeline()
+        tl.schedule(0.0, 10.0, 10, "read", group="keep")
+        victim = tl.schedule(0.0, 5.0, 20, "write", group="stay")
+        cancelled = tl.cancel(now=0.0, predicate=lambda r: r.group == "stay")
+        assert cancelled == [victim]
+        assert victim.cancelled
+        assert tl.bytes_written == 0
+        assert tl.free_at == 10.0  # only the read remains
+
+    def test_cannot_cancel_in_service(self):
+        tl = Timeline()
+        running = tl.schedule(0.0, 10.0, 10, "write", group="g")
+        cancelled = tl.cancel(now=5.0, predicate=lambda r: True)
+        assert cancelled == []
+        assert not running.cancelled
+
+    def test_repack_moves_later_requests_earlier(self):
+        tl = Timeline()
+        tl.schedule(0.0, 2.0, 10, "read")  # runs [0, 2)
+        mid = tl.schedule(0.0, 6.0, 10, "write", group="victim")  # [2, 8)
+        tail = tl.schedule(0.0, 1.0, 10, "read")  # [8, 9)
+        assert tail.start == 8.0
+        tl.cancel(now=0.5, predicate=lambda r: r.group == "victim")
+        assert tail.start == 2.0
+        assert tail.end == 3.0
+        assert not mid in tl.pending_requests()
+
+    def test_repack_respects_now(self):
+        """A repacked request cannot start before the cancellation time."""
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 10, "write", group="v")  # runs [0, 1)
+        tail = tl.schedule(0.0, 1.0, 10, "write", group="t")  # [1, 2)
+        # Cancel 't' predecessors at t=1.5 — nothing to cancel that started,
+        # but repack of 't' itself must not move before now.
+        tl.cancel(now=1.4, predicate=lambda r: r.group == "none")
+        assert tail.start == 1.0  # untouched: no cancellation happened
+
+    def test_cancel_is_selective(self):
+        tl = Timeline()
+        blocker = tl.schedule(0.0, 4.0, 1, "read")
+        a = tl.schedule(0.0, 1.0, 1, "write", group="a")
+        b = tl.schedule(0.0, 1.0, 1, "write", group="b")
+        tl.cancel(now=0.0, predicate=lambda r: r.group == "a")
+        assert not b.cancelled
+        assert b.start == blocker.end
+
+    def test_busy_time_after_cancel(self):
+        tl = Timeline()
+        tl.schedule(0.0, 2.0, 1, "read")
+        tl.schedule(0.0, 3.0, 1, "write", group="v")
+        tl.cancel(now=0.0, predicate=lambda r: r.group == "v")
+        assert tl.busy_time_until(10.0) == pytest.approx(2.0)
+
+
+class TestQueries:
+    def test_group_end(self):
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 1, "write", group="g")
+        last = tl.schedule(0.0, 1.0, 1, "write", group="g")
+        assert tl.group_end("g") == last.end
+
+    def test_group_end_missing(self):
+        assert Timeline().group_end("nope") is None
+
+    def test_busy_time_partial(self):
+        tl = Timeline()
+        tl.schedule(0.0, 4.0, 1, "read")  # busy [0, 4)
+        assert tl.busy_time_until(2.0) == pytest.approx(2.0)
+        assert tl.busy_time_until(4.0) == pytest.approx(4.0)
+        assert tl.busy_time_until(100.0) == pytest.approx(4.0)
+
+    def test_busy_time_with_gap(self):
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 1, "read")
+        tl.schedule(5.0, 1.0, 1, "read")
+        assert tl.busy_time_until(10.0) == pytest.approx(2.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10),  # submit delta
+            st.floats(min_value=0, max_value=5),  # service
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_fifo_invariants(ops):
+    """Requests never overlap, never start before submission, stay FIFO."""
+    tl = Timeline()
+    t = 0.0
+    reqs = []
+    for delta, service in ops:
+        t += delta
+        reqs.append(tl.schedule(t, service, 1, "read"))
+    for req in reqs:
+        assert req.start >= req.submit
+        assert req.end == pytest.approx(req.start + req.service)
+    for prev, cur in zip(reqs, reqs[1:]):
+        assert cur.start >= prev.end - 1e-9

@@ -1,0 +1,93 @@
+"""Tests for request tracing and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import hub_root, small_fastbfs_config
+
+from repro.core.engine import FastBFSEngine
+from repro.errors import SimulationError
+from repro.graph.generators import rmat_graph
+from repro.sim.timeline import Timeline
+from repro.sim.trace import render_gantt, render_timeline_gantt
+from repro.storage.device import DeviceSpec
+from repro.storage.machine import Machine
+from repro.utils.units import MB
+
+
+class TestTraceCapture:
+    def test_disabled_by_default(self):
+        tl = Timeline()
+        tl.schedule(0.0, 1.0, 10, "read", group="edges:p0")
+        assert tl.trace == []
+
+    def test_enabled_captures_all(self):
+        tl = Timeline(keep_trace=True)
+        a = tl.schedule(0.0, 1.0, 10, "read", group="edges:p0")
+        b = tl.schedule(0.0, 1.0, 10, "write", group="stay:p0:i0")
+        tl.cancel(0.0, lambda r: r is b)
+        assert tl.trace == [a, b]
+        assert b.cancelled
+
+    def test_machine_trace_flag(self):
+        m = Machine([DeviceSpec.hdd()], memory=MB, trace=True)
+        assert m.disks[0].timeline.keep_trace
+        assert m.ram.timeline.keep_trace
+
+
+class TestRendering:
+    def _traced(self):
+        tl = Timeline("hdd0", keep_trace=True)
+        tl.schedule(0.0, 1.0, 10, "read", group="edges:p0")
+        tl.schedule(0.0, 0.5, 10, "write", group="stay:p0:i0")
+        return tl
+
+    def test_untraced_raises(self):
+        with pytest.raises(SimulationError):
+            render_timeline_gantt(Timeline())
+
+    def test_lanes_per_role(self):
+        text = render_timeline_gantt(self._traced(), width=40)
+        assert "edges[R]" in text
+        assert "stay[W]" in text
+        assert "hdd0" in text
+
+    def test_busy_then_idle_shape(self):
+        tl = Timeline("d", keep_trace=True)
+        tl.schedule(0.0, 1.0, 10, "read", group="edges:p0")  # busy [0,1)
+        text = render_timeline_gantt(tl, start=0.0, end=2.0, width=20)
+        lane = [l for l in text.splitlines() if "edges" in l][0]
+        bar = lane.split()[-1]
+        assert bar[:9].count("█") >= 8  # first half busy
+        assert bar[-8:].count("·") >= 7  # second half idle
+
+    def test_empty_window(self):
+        tl = Timeline("d", keep_trace=True)
+        with pytest.raises(SimulationError):
+            render_timeline_gantt(tl, start=5.0, end=5.0)
+
+    def test_width_validation(self):
+        with pytest.raises(SimulationError):
+            render_timeline_gantt(self._traced(), width=3)
+
+    def test_no_requests_message(self):
+        tl = Timeline("d", keep_trace=True)
+        text = render_timeline_gantt(tl, start=0.0, end=1.0)
+        assert "no requests" in text
+
+
+class TestEngineGantt:
+    def test_full_run_renders(self):
+        graph = rmat_graph(scale=9, edge_factor=8, seed=3)
+        machine = Machine(
+            [DeviceSpec.hdd("hdd0"), DeviceSpec.hdd("hdd1")],
+            memory=2 * MB, trace=True,
+        )
+        FastBFSEngine(small_fastbfs_config(rotate_streams=True)).run(
+            graph, machine, root=hub_root(graph)
+        )
+        text = render_gantt(machine, width=60)
+        assert "hdd0" in text and "hdd1" in text
+        assert "stay[W]" in text
+        # Rotation: both disks carried stay writes at some point.
+        assert text.count("stay[W]") == 2

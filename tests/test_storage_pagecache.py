@@ -1,0 +1,150 @@
+"""Tests for the OS page-cache model."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import fresh_machine, hub_root
+
+from repro.algorithms.reference import bfs_levels
+from repro.engines.graphchi import GraphChiConfig, GraphChiEngine
+from repro.errors import StorageError
+from repro.graph.generators import rmat_graph
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.machine import Machine
+from repro.storage.pagecache import PageCache
+from repro.utils.units import KB, MB
+
+
+class TestPageCacheUnit:
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            PageCache(capacity_bytes=10, block_bytes=0)
+        with pytest.raises(StorageError):
+            PageCache(capacity_bytes=10, block_bytes=100)
+
+    def test_cold_read_misses(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        miss = cache.read(file_id=1, offset=0, nbytes=10 * KB)
+        assert miss == 10 * KB  # capped at the request size
+        assert cache.miss_bytes == 10 * KB
+
+    def test_warm_read_hits(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        cache.read(1, 0, 10 * KB)
+        miss = cache.read(1, 0, 10 * KB)
+        assert miss == 0
+        assert cache.hit_bytes == 10 * KB
+
+    def test_partial_overlap(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        cache.read(1, 0, 8 * KB)  # blocks 0, 1
+        miss = cache.read(1, 4 * KB, 8 * KB)  # blocks 1 (hit), 2 (miss)
+        assert miss == 4 * KB
+
+    def test_lru_eviction(self):
+        cache = PageCache(8 * KB, block_bytes=4 * KB)  # 2 blocks
+        cache.read(1, 0, 4 * KB)  # block A
+        cache.read(1, 4 * KB, 4 * KB)  # block B
+        cache.read(1, 8 * KB, 4 * KB)  # block C evicts A
+        assert not cache.contains(1, 0)
+        assert cache.contains(1, 8 * KB)
+
+    def test_access_refreshes_lru(self):
+        cache = PageCache(8 * KB, block_bytes=4 * KB)
+        cache.read(1, 0, 4 * KB)  # A
+        cache.read(1, 4 * KB, 4 * KB)  # B
+        cache.read(1, 0, 4 * KB)  # touch A
+        cache.read(1, 8 * KB, 4 * KB)  # C evicts B, not A
+        assert cache.contains(1, 0)
+        assert not cache.contains(1, 4 * KB)
+
+    def test_write_through_populates(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        cache.write(2, 0, 8 * KB)
+        assert cache.read(2, 0, 8 * KB) == 0
+
+    def test_files_do_not_collide(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        cache.read(1, 0, 4 * KB)
+        assert cache.read(2, 0, 4 * KB) == 4 * KB
+
+    def test_hit_ratio(self):
+        cache = PageCache(1 * MB, block_bytes=4 * KB)
+        assert cache.hit_ratio == 0.0
+        cache.read(1, 0, 4 * KB)
+        cache.read(1, 0, 4 * KB)
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+
+class TestDeviceIntegration:
+    def _device(self, cache):
+        dev = Device(
+            DeviceSpec("d", seek_time=0.0, read_bandwidth=100 * MB,
+                       write_bandwidth=100 * MB)
+        )
+        dev.cache = cache
+        return dev
+
+    def test_second_read_is_free(self):
+        dev = self._device(PageCache(1 * MB, block_bytes=4 * KB))
+        first = dev.submit(0.0, "read", 64 * KB, file_id=1, offset=0)
+        assert first.end > 0
+        second = dev.submit(first.end, "read", 64 * KB, file_id=1, offset=0)
+        assert second.end == second.start == first.end  # instant hit
+        assert dev.bytes_read == 64 * KB  # only the miss reached the disk
+
+    def test_writes_still_pay(self):
+        dev = self._device(PageCache(1 * MB, block_bytes=4 * KB))
+        req = dev.submit(0.0, "write", 64 * KB, file_id=1, offset=0)
+        assert req.end > req.start
+        assert dev.bytes_written == 64 * KB
+        # ... but make subsequent reads of the same blocks free.
+        hit = dev.submit(req.end, "read", 64 * KB, file_id=1, offset=0)
+        assert hit.end == hit.start
+
+    def test_no_cache_unchanged(self):
+        dev = Device(DeviceSpec.hdd())
+        a = dev.submit(0.0, "read", KB, file_id=1, offset=0)
+        b = dev.submit(a.end, "read", KB, file_id=1, offset=0)
+        assert b.end > b.start  # no caching without a cache
+
+
+class TestMachineIntegration:
+    def test_machine_wires_cache(self):
+        m = Machine([DeviceSpec.hdd()], memory=MB, page_cache="1MB")
+        assert m.page_cache is not None
+        assert m.disks[0].cache is m.page_cache
+        assert m.ram.cache is None
+
+    def test_cache_shared_across_disks(self):
+        m = Machine([DeviceSpec.hdd("a"), DeviceSpec.hdd("b")],
+                    memory=MB, page_cache="1MB")
+        assert m.disks[0].cache is m.disks[1].cache
+
+    def test_graphchi_benefits_from_page_cache(self):
+        """The paper's point: unblocked memory lets GraphChi's rescans hit
+        the page cache, which is why they capped it at 4GB."""
+        graph = rmat_graph(scale=10, edge_factor=8, seed=7)
+        root = hub_root(graph)
+        blocked = GraphChiEngine(GraphChiConfig(num_shards=4)).run(
+            graph, fresh_machine(), root=root
+        )
+        machine = Machine([DeviceSpec.hdd()], memory=2 * MB,
+                          page_cache=8 * MB)
+        unblocked = GraphChiEngine(GraphChiConfig(num_shards=4)).run(
+            graph, machine, root=root
+        )
+        assert np.array_equal(unblocked.levels, blocked.levels)
+        assert unblocked.execution_time < 0.7 * blocked.execution_time
+        assert unblocked.report.bytes_read < blocked.report.bytes_read
+        assert machine.page_cache.hit_ratio > 0.3
+
+    def test_correctness_unaffected(self):
+        graph = rmat_graph(scale=9, edge_factor=8, seed=2)
+        root = hub_root(graph)
+        machine = Machine([DeviceSpec.hdd()], memory=2 * MB,
+                          page_cache=4 * MB)
+        result = GraphChiEngine(GraphChiConfig(num_shards=3)).run(
+            graph, machine, root=root
+        )
+        assert np.array_equal(result.levels, bfs_levels(graph, root))

@@ -1,0 +1,116 @@
+"""Unit tests + property tests for byte/time formatting and parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    format_bytes,
+    format_seconds,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    def test_plain_int(self):
+        assert parse_bytes(1234) == 1234
+
+    def test_zero(self):
+        assert parse_bytes(0) == 0
+
+    def test_float_truncates(self):
+        assert parse_bytes(10.9) == 10
+
+    def test_plain_string_number(self):
+        assert parse_bytes("4096") == 4096
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KB),
+            ("1kb", KB),
+            ("2K", 2 * KB),
+            ("16MB", 16 * MB),
+            ("1.5GB", int(1.5 * GB)),
+            ("4GiB", 4 * GB),
+            ("1TB", TB),
+            ("256 MB", 256 * MB),
+            ("100B", 100),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "MB", "12XB", "1.2.3GB", "-5MB", None, [1]])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigError):
+            parse_bytes(bad)
+
+    def test_rejects_negative_int(self):
+        with pytest.raises(ConfigError):
+            parse_bytes(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            parse_bytes(True)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip_int_identity(self, n):
+        assert parse_bytes(n) == n
+
+    @given(st.integers(min_value=0, max_value=2**40 // KB))
+    def test_kb_string_roundtrip(self, n):
+        assert parse_bytes(f"{n}KB") == n * KB
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (KB, "1.00KB"),
+            (1536, "1.50KB"),
+            (3 * MB, "3.00MB"),
+            (2 * GB, "2.00GB"),
+            (5 * TB, "5.00TB"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_negative(self):
+        assert format_bytes(-2 * MB) == "-2.00MB"
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_never_raises(self, value):
+        out = format_bytes(value)
+        assert isinstance(out, str) and out
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0015, "2ms"),
+            (0.25, "250ms"),
+            (1.5, "1.50s"),
+            (90, "90.00s"),
+            (125, "2m05s"),
+            (3600 * 2 + 60 * 5, "2h05m"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_negative(self):
+        assert format_seconds(-2.0) == "-2.00s"
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_never_raises(self, value):
+        assert isinstance(format_seconds(value), str)
