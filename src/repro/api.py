@@ -21,8 +21,12 @@ from repro.storage.machine import Machine
 
 ENGINES = ("fastbfs", "x-stream", "graphchi")
 
+#: Anything run_bfs accepts as an engine instance.
+AnyEngine = Union[FastBFSEngine, XStreamEngine, GraphChiEngine]
+AnyEngineConfig = Union[EngineConfig, GraphChiConfig]
 
-def make_engine(name: str, config=None):
+
+def make_engine(name: str, config: Optional[AnyEngineConfig] = None) -> AnyEngine:
     """Instantiate an engine by name ('fastbfs', 'x-stream', 'graphchi')."""
     if name in ("fastbfs", "fast-bfs"):
         return FastBFSEngine(config)
@@ -35,11 +39,11 @@ def make_engine(name: str, config=None):
 
 def run_bfs(
     graph: Graph,
-    engine: Union[str, object] = "fastbfs",
+    engine: Union[str, AnyEngine] = "fastbfs",
     machine: Optional[Machine] = None,
     root: int = 0,
-    config=None,
-    **machine_kwargs,
+    config: Optional[AnyEngineConfig] = None,
+    **machine_kwargs: object,
 ) -> EngineResult:
     """Run BFS on ``graph`` with the named engine and return its result.
 

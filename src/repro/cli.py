@@ -31,9 +31,11 @@ from repro.analysis.calibration import (
 )
 from repro.analysis.harness import default_root
 from repro.analysis.tables import format_table
-from repro.api import ENGINES, make_engine
+from repro.api import ENGINES, AnyEngine, make_engine
 from repro.errors import ReproError
 from repro.graph.datasets import DATASETS, build_dataset
+from repro.graph.graph import Graph
+from repro.storage.machine import Machine
 from repro.graph.generators import (
     grid_graph,
     powerlaw_graph,
@@ -139,13 +141,13 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--threads", type=int, default=4)
 
 
-def _load_input(args) -> "Graph":
+def _load_input(args: argparse.Namespace) -> Graph:
     if args.graph:
         return load_graph(args.graph)
     return build_dataset(args.dataset, seed=args.seed)
 
 
-def _machine(args):
+def _machine(args: argparse.Namespace) -> Machine:
     return scaled_machine(
         memory=args.memory,
         cores=args.cores,
@@ -154,7 +156,7 @@ def _machine(args):
     )
 
 
-def _engine(name: str, args):
+def _engine(name: str, args: argparse.Namespace) -> AnyEngine:
     if name == "graphchi":
         return make_engine(name, scaled_graphchi_config(threads=args.threads))
     if name == "fastbfs":
@@ -162,11 +164,11 @@ def _engine(name: str, args):
     return make_engine(name, scaled_engine_config(threads=args.threads))
 
 
-def _root(args, graph) -> int:
+def _root(args: argparse.Namespace, graph: Graph) -> int:
     return args.root if args.root is not None else default_root(graph)
 
 
-def cmd_generate(args) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind == "rmat":
         g = rmat_graph(scale=args.scale, edge_factor=args.edge_factor,
                        seed=args.seed)
@@ -184,7 +186,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     graph = _load_input(args)
     machine = _machine(args)
     engine = _engine(args.engine, args)
@@ -245,7 +247,7 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_input(args)
     root = _root(args, graph)
     rows: List[List[object]] = []
@@ -278,7 +280,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_profile(args) -> int:
+def cmd_profile(args: argparse.Namespace) -> int:
     graph = _load_input(args)
     root = _root(args, graph)
     prof = level_profile(graph, root)
@@ -307,7 +309,7 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_datasets(_args) -> int:
+def cmd_datasets(_args: argparse.Namespace) -> int:
     rows = [
         [
             name,
@@ -327,7 +329,7 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
-def cmd_gantt(args) -> int:
+def cmd_gantt(args: argparse.Namespace) -> int:
     from repro.sim.trace import render_gantt
 
     graph = _load_input(args)
@@ -352,7 +354,7 @@ def cmd_gantt(args) -> int:
     return 0
 
 
-def cmd_shapes(args) -> int:
+def cmd_shapes(args: argparse.Namespace) -> int:
     from repro.analysis.harness import ExperimentRunner
     from repro.analysis.shapes import check_all, scoreboard
 
@@ -365,7 +367,7 @@ def cmd_shapes(args) -> int:
     return 1 if failed else 0
 
 
-def cmd_reproduce(args) -> int:
+def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.analysis.harness import ExperimentRunner
     from repro.analysis.report import ALL_FIGURES, build_report
 

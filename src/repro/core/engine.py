@@ -60,6 +60,9 @@ class FastBFSEngine(EdgeCentricEngine):
             stay_index = cfg.stay_disk if cfg.stay_disk is not None else cfg.edge_disk
             stay_device = machine.disk(stay_index)
         rt.stay = StayStreamManager(machine.clock, machine.vfs, stay_device, cfg)
+        sanitizer = getattr(machine, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.watch_staystream(rt.stay)
         rt.trim_policy = TrimPolicy(cfg, rt.algo.supports_trimming)
         rt.trim_active_iteration = -1
         rt.trim_active = False

@@ -81,6 +81,10 @@ class EngineConfig:
     #: Disk index for vertex set files.
     vertex_disk: int = 0
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Install the runtime sanitizer for this run (repro.tooling.sanitizer):
+    #: VFS leak detection, clock monotonicity, stay-writer state machine and
+    #: cost-charge coverage.  Violations raise SanitizerError at end of run.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         self.edge_buffer_bytes = parse_bytes(self.edge_buffer_bytes)
@@ -161,6 +165,11 @@ class EdgeCentricEngine:
                 "machine has already been used; engines need a fresh Machine "
                 "per run (use Machine.fresh())"
             )
+        sanitizer = getattr(machine, "sanitizer", None)
+        if sanitizer is None and self.config.sanitize:
+            from repro.tooling.sanitizer import Sanitizer
+
+            sanitizer = Sanitizer().install(machine)
         rt = _RunState()
         rt.graph = graph
         rt.machine = machine
@@ -182,6 +191,12 @@ class EdgeCentricEngine:
                 iteration += 1
                 pass_updates = self._merged_pass(rt, iteration)
             self._after_run(rt)
+            if sanitizer is not None:
+                rt.extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
+                sanitizer.finalize_run()
+                rt.extras["sanitizer_violations"] = float(
+                    len(sanitizer.violations)
+                )
             return EngineResult(
                 engine=self.name,
                 algorithm=algo.name,

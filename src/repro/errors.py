@@ -53,3 +53,7 @@ class EngineError(ReproError):
 
 class ValidationError(ReproError):
     """A computed result failed validation against a reference."""
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer detected a simulation-protocol violation."""

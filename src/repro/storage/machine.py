@@ -116,6 +116,7 @@ class Machine:
         cores: int = 4,
         trace: bool = False,
         page_cache: Union[int, str, None] = None,
+        sanitize: bool = False,
     ) -> None:
         if not disks:
             raise ConfigError("a machine needs at least one persistent disk")
@@ -147,6 +148,13 @@ class Machine:
         self.cores = cores
         self.vfs = VFS()
         self._disk_specs = list(disks)
+        self._sanitize = sanitize
+        #: Installed runtime checker, if any (see repro.tooling.sanitizer).
+        self.sanitizer = None
+        if sanitize:
+            from repro.tooling.sanitizer import Sanitizer
+
+            Sanitizer().install(self)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -157,6 +165,7 @@ class Machine:
         cores: int = 4,
         num_disks: int = 1,
         disk_kind: str = "hdd",
+        sanitize: bool = False,
     ) -> "Machine":
         """The paper's test bed: Xeon X5472-class box, 4GB working memory.
 
@@ -169,11 +178,16 @@ class Machine:
             specs = [DeviceSpec.ssd(f"ssd{i}") for i in range(num_disks)]
         else:
             raise ConfigError(f"unknown disk kind {disk_kind!r}")
-        return Machine(specs, memory=memory, cores=cores)
+        return Machine(specs, memory=memory, cores=cores, sanitize=sanitize)
 
     def fresh(self) -> "Machine":
         """A new machine with identical hardware and a zeroed clock/VFS."""
-        return Machine(self._disk_specs, memory=self.memory_bytes, cores=self.cores)
+        return Machine(
+            self._disk_specs,
+            memory=self.memory_bytes,
+            cores=self.cores,
+            sanitize=self._sanitize,
+        )
 
     # ------------------------------------------------------------------
     # device access

@@ -78,8 +78,10 @@ class VirtualFile:
     def records(self) -> np.ndarray:
         """The full contents as one contiguous array (seals the file)."""
         self.seal()
-        assert self._sealed is not None
-        return self._sealed
+        sealed = self._sealed
+        if sealed is None:  # pragma: no cover - seal() always sets it
+            raise StorageError(f"file {self.name!r} failed to seal")
+        return sealed
 
     def read_records(self, start: int, count: int) -> np.ndarray:
         """Zero-copy view of ``count`` records beginning at ``start``."""

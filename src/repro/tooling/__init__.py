@@ -1,0 +1,43 @@
+"""Correctness tooling: the runtime sanitizer and the repo-specific linter.
+
+Two layers guard the invariants ordinary tests cannot see:
+
+* :mod:`repro.tooling.sanitizer` — opt-in runtime checkers (``sanitize=True``
+  on a :class:`~repro.storage.machine.Machine` or an engine config) that
+  watch a live run for VFS leaks, clock regressions, stay-writer
+  state-machine violations, and device I/O that bypasses the cost model.
+* :mod:`repro.tooling.lint` — an AST-based static pass
+  (``python -m repro.tooling.lint src/repro``) enforcing repo-specific
+  source rules such as "no wall-clock calls inside the simulation".
+
+See ``docs/correctness_tooling.md`` for the full checker/rule catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "LintViolation",
+    "Sanitizer",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]
+
+_LINT_EXPORTS = {"LintViolation", "lint_paths", "lint_source"}
+_SANITIZER_EXPORTS = {"Sanitizer", "Violation"}
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy so `python -m repro.tooling.lint` does not import the lint
+    # module twice (once via the package, once as __main__).
+    if name in _LINT_EXPORTS:
+        from repro.tooling import lint
+
+        return getattr(lint, name)
+    if name in _SANITIZER_EXPORTS:
+        from repro.tooling import sanitizer
+
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

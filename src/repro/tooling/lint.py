@@ -1,0 +1,378 @@
+"""Repo-specific static lint pass (AST-based, stdlib-only).
+
+Generic linters cannot know that this codebase simulates time, or that its
+virtual files must be created through the VFS so leak tracking works.  This
+module encodes those repo rules and is runnable standalone::
+
+    PYTHONPATH=src python -m repro.tooling.lint src/repro
+
+Rules (suppress a line with ``# noqa`` or ``# noqa: FB1xx``):
+
+FB101  wallclock-in-sim
+    No ``time.time()`` / ``perf_counter()`` / ``monotonic()`` /
+    ``process_time()`` / ``datetime.now()`` inside ``sim/``, ``core/`` or
+    ``storage/``.  Simulated components must take time only from
+    :class:`~repro.sim.clock.SimClock`; one wall-clock read silently breaks
+    determinism and every reproduced figure.
+FB102  bare-assert
+    No ``assert`` statements in library code: they vanish under
+    ``python -O``, so invariants guarded by them are not guarded at all.
+    Raise a :class:`~repro.errors.ReproError` subclass instead.
+FB103  scatter-hook-pairing
+    A class overriding ``_pre_partition_scatter`` must also override
+    ``_post_partition_scatter``: resources opened per-partition (stay
+    writers) must have a closing hook, or they leak across partitions.
+FB104  direct-virtualfile
+    ``VirtualFile`` may only be constructed inside ``storage/vfs.py``.
+    Files built elsewhere bypass the namespace, the leak tracking and the
+    replace/delete protocol.
+FB105  clock-private-mutation
+    No assignments to ``._now`` / ``._compute_time`` / ``._iowait_time``
+    outside ``sim/clock.py``; mutating clock internals bypasses the
+    monotonicity guarantee every timeline relies on.
+FB106  timeline-direct-schedule
+    No ``*.timeline.schedule(...)`` calls outside ``storage/device.py``
+    and ``sim/``: requests must go through ``Device.submit`` so seeks,
+    bytes and the page cache are accounted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Simulated-time subsystems where wall-clock reads are forbidden.
+SIM_SUBSYSTEMS = frozenset({"sim", "core", "storage"})
+
+_BANNED_TIME_FUNCS = frozenset(
+    {"time", "perf_counter", "monotonic", "process_time", "clock"}
+)
+_BANNED_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_CLOCK_PRIVATE_ATTRS = frozenset({"_now", "_compute_time", "_iowait_time"})
+
+RULES: Dict[str, str] = {
+    "FB101": "wall-clock call in a simulated-time subsystem",
+    "FB102": "bare assert in library code (stripped under python -O)",
+    "FB103": "_pre_partition_scatter without _post_partition_scatter",
+    "FB104": "direct VirtualFile construction outside storage/vfs.py",
+    "FB105": "mutation of SimClock internals outside sim/clock.py",
+    "FB106": "Timeline.schedule call outside Device.submit",
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class _FileContext:
+    """Where a file sits inside the package (drives per-rule scoping)."""
+
+    path: str
+    subsystem: str  # first directory under the repro package, "" if top-level
+    filename: str
+
+    @property
+    def in_sim_layer(self) -> bool:
+        return self.subsystem in SIM_SUBSYSTEMS
+
+    @property
+    def is_vfs_module(self) -> bool:
+        return self.subsystem == "storage" and self.filename == "vfs.py"
+
+    @property
+    def is_clock_module(self) -> bool:
+        return self.subsystem == "sim" and self.filename == "clock.py"
+
+    @property
+    def is_device_module(self) -> bool:
+        return self.subsystem == "storage" and self.filename == "device.py"
+
+
+def _file_context(path: str) -> _FileContext:
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    subsystem = ""
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        below = parts[idx + 1 :]
+        if len(below) > 1:
+            subsystem = below[0]
+    return _FileContext(
+        path=path, subsystem=subsystem, filename=parts[-1] if parts else ""
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass collector for every rule."""
+
+    def __init__(self, ctx: _FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[LintViolation] = []
+        # Local aliases of banned wall-clock callables / their modules.
+        self._time_modules: Set[str] = set()
+        self._datetime_names: Set[str] = set()
+        self._banned_names: Set[str] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- imports (alias tracking for FB101) ----------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_modules.add(local)
+            elif alias.name in ("datetime", "datetime.datetime"):
+                self._datetime_names.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _BANNED_TIME_FUNCS:
+                    self._banned_names.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self._datetime_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- FB101 / FB104 / FB106 -----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if self.ctx.in_sim_layer:
+            self._check_wallclock(node, func)
+        self._check_virtualfile(node, func)
+        self._check_timeline_schedule(node, func)
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call, func: ast.expr) -> None:
+        if isinstance(func, ast.Name) and func.id in self._banned_names:
+            self._flag(
+                node,
+                "FB101",
+                f"wall-clock call {func.id}() in {self.ctx.subsystem}/ "
+                "(use the run's SimClock)",
+            )
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner in self._time_modules and func.attr in _BANNED_TIME_FUNCS:
+                self._flag(
+                    node,
+                    "FB101",
+                    f"wall-clock call {owner}.{func.attr}() in "
+                    f"{self.ctx.subsystem}/ (use the run's SimClock)",
+                )
+            elif (
+                owner in self._datetime_names
+                and func.attr in _BANNED_DATETIME_FUNCS
+            ):
+                self._flag(
+                    node,
+                    "FB101",
+                    f"wall-clock call {owner}.{func.attr}() in "
+                    f"{self.ctx.subsystem}/ (use the run's SimClock)",
+                )
+
+    def _check_virtualfile(self, node: ast.Call, func: ast.expr) -> None:
+        if self.ctx.is_vfs_module:
+            return
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "VirtualFile":
+            self._flag(
+                node,
+                "FB104",
+                "construct files through VFS.create(), not VirtualFile() "
+                "(bypasses the namespace and leak tracking)",
+            )
+
+    def _check_timeline_schedule(self, node: ast.Call, func: ast.expr) -> None:
+        if self.ctx.is_device_module or self.ctx.subsystem == "sim":
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "schedule"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "timeline"
+        ):
+            self._flag(
+                node,
+                "FB106",
+                "submit requests through Device.submit(), not "
+                "timeline.schedule() (bypasses seek/byte accounting)",
+            )
+
+    # -- FB102 ---------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._flag(
+            node,
+            "FB102",
+            "bare assert is stripped under python -O; raise a ReproError "
+            "subclass instead",
+        )
+        self.generic_visit(node)
+
+    # -- FB103 ---------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if (
+            "_pre_partition_scatter" in methods
+            and "_post_partition_scatter" not in methods
+        ):
+            self._flag(
+                node,
+                "FB103",
+                f"class {node.name} overrides _pre_partition_scatter but "
+                "not _post_partition_scatter; per-partition resources "
+                "must be closed by the paired hook",
+            )
+        self.generic_visit(node)
+
+    # -- FB105 ---------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_clock_mutation(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_clock_mutation(node.target)
+        self.generic_visit(node)
+
+    def _check_clock_mutation(self, target: ast.expr) -> None:
+        if self.ctx.is_clock_module:
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _CLOCK_PRIVATE_ATTRS
+        ):
+            self._flag(
+                target,
+                "FB105",
+                f"assignment to {target.attr} outside sim/clock.py breaks "
+                "the clock's monotonicity guarantee",
+            )
+
+
+def _suppressed(violation: LintViolation, source_lines: Sequence[str]) -> bool:
+    """Honour ``# noqa`` / ``# noqa: FB101[,FB102]`` on the flagged line."""
+    if violation.line > len(source_lines):
+        return False
+    line = source_lines[violation.line - 1]
+    marker = line.find("# noqa")
+    if marker < 0:
+        return False
+    tail = line[marker + len("# noqa") :].strip()
+    if not tail.startswith(":"):
+        return True  # blanket noqa
+    codes = {c.strip() for c in tail[1:].split(",")}
+    return violation.code in codes
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
+    """Lint one source string; ``path`` scopes the per-directory rules."""
+    ctx = _file_context(path)
+    if ctx.filename.startswith("test_") or ctx.subsystem == "tests":
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="FB100",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(ctx)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [v for v in visitor.violations if not _suppressed(v, lines)]
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: List[LintViolation] = []
+    for file in _iter_python_files(paths):
+        violations.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tooling.lint",
+        description="repo-specific static lint pass (see rule list with "
+        "--list-rules)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code, summary in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths)
+    for v in violations:
+        print(v)
+    count = len(violations)
+    print(f"{count} violation(s)" if count else "clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

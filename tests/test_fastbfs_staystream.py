@@ -128,6 +128,40 @@ class TestResolveInput:
         assert f2.num_records == 10
 
 
+class TestErrorPaths:
+    def test_append_after_finish_rejected(self, ctx):
+        _, _, _, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.finish_partition(0)
+        with pytest.raises(EngineError, match="no open stay writer"):
+            mgr.append(0, edges(1))
+
+    def test_append_after_discard_all_rejected(self, ctx):
+        _, _, _, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.discard_all()
+        with pytest.raises(EngineError, match="no open stay writer"):
+            mgr.append(0, edges(1))
+
+    def test_reopen_same_partition_after_finish_allowed(self, ctx):
+        """Next iteration's writer coexists with the pending previous one."""
+        _, _, vfs, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.finish_partition(0)
+        w = mgr.open(0, iteration=1)
+        assert w.file.name == "stay:p0:i1"
+        assert 0 in mgr.pending_partitions
+        assert mgr.stats.files_written == 2
+
+    def test_double_open_leaves_first_writer_intact(self, ctx):
+        _, _, _, mgr = ctx
+        first = mgr.open(0, iteration=0)
+        with pytest.raises(EngineError):
+            mgr.open(0, iteration=0)
+        assert mgr.current(0) is first
+        assert mgr.stats.files_written == 1
+
+
 class TestDiscardAll:
     def test_discards_pending_and_current(self, ctx):
         clock, device, vfs, mgr = ctx
@@ -140,6 +174,28 @@ class TestDiscardAll:
         assert mgr.stats.end_of_run_discards == 2
         assert not vfs.exists("stay:p0:i0")
         assert not vfs.exists("stay:p1:i0")
+
+    def test_counts_pending_and_current_separately(self, ctx):
+        """end_of_run_discards covers both writer generations."""
+        _, _, vfs, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.append(0, edges(10))
+        mgr.finish_partition(0)  # generation "pending"
+        mgr.open(1, iteration=0)  # generation "current", never finished
+        mgr.open(2, iteration=0)
+        assert len(mgr.pending_partitions) == 1
+        mgr.discard_all()
+        assert mgr.stats.end_of_run_discards == 3
+        assert mgr.pending_partitions == {}
+        for name in ("stay:p0:i0", "stay:p1:i0", "stay:p2:i0"):
+            assert not vfs.exists(name)
+
+    def test_discard_all_idempotent(self, ctx):
+        _, _, _, mgr = ctx
+        mgr.open(0, iteration=0)
+        mgr.discard_all()
+        mgr.discard_all()
+        assert mgr.stats.end_of_run_discards == 1
 
     def test_device_override(self, ctx):
         clock, device, vfs, mgr = ctx

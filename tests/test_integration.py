@@ -115,6 +115,55 @@ def test_all_engines_agree_pairwise(rmat12):
         assert np.array_equal(levels, baseline), name
 
 
+@pytest.mark.parametrize("graph_name", ["rmat", "whiskered", "grid"])
+def test_full_traversal_under_sanitizer(graph_name):
+    """A full FastBFS traversal with sanitize=True: correct answer, zero VFS
+    leaks, zero stay-writer state-machine violations (strict mode would have
+    raised on any)."""
+    graph = GRAPHS[graph_name]()
+    root = hub_root(graph)
+    machine = fresh_machine()
+    engine = FastBFSEngine(small_fastbfs_config(sanitize=True))
+    result = engine.run(graph, machine, root=root)
+    assert np.array_equal(result.levels, bfs_levels(graph, root))
+    sanitizer = machine.sanitizer
+    assert sanitizer is not None and sanitizer.finalized
+    assert sanitizer.leaks() == []
+    assert sanitizer.by_checker("stay-state") == []
+    assert sanitizer.violations == []
+    assert result.extras["sanitizer_violations"] == 0.0
+
+
+@pytest.mark.parametrize(
+    "engine_name", ["fastbfs", "fastbfs-no-trim", "x-stream"]
+)
+def test_engines_sanitize_clean_on_sanitized_machine(engine_name):
+    """Every edge-centric engine obeys the simulation protocol end to end."""
+    graph = GRAPHS["rmat"]()
+    engine = dict(all_engines())[engine_name]
+    machine = fresh_machine()
+    from repro.tooling.sanitizer import Sanitizer
+
+    Sanitizer(strict=True).install(machine)
+    result = engine.run(graph, machine, root=hub_root(graph))
+    assert machine.sanitizer.violations == []
+    assert result.extras["sanitizer_violations"] == 0.0
+
+
+def test_sanitizer_clean_with_rotating_two_disk_config():
+    """The Fig. 10 two-disk rotation also keeps the stay protocol clean."""
+    graph = GRAPHS["rmat"]()
+    machine = fresh_machine(num_disks=2)
+    engine = FastBFSEngine(
+        small_fastbfs_config(sanitize=True, rotate_streams=True)
+    )
+    result = engine.run(graph, machine, root=hub_root(graph))
+    assert np.array_equal(
+        result.levels, bfs_levels(graph, hub_root(graph))
+    )
+    assert machine.sanitizer.violations == []
+
+
 def test_trimming_only_reduces_io_never_changes_answer(rmat12):
     """DESIGN.md invariant: trimming is an I/O optimization, nothing more."""
     root = hub_root(rmat12)

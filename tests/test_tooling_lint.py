@@ -1,0 +1,178 @@
+"""Unit tests for the repo-specific static lint pass."""
+
+from pathlib import Path
+
+from repro.tooling.lint import RULES, LintViolation, lint_paths, lint_source
+
+SIM_PATH = "src/repro/sim/fake.py"
+CORE_PATH = "src/repro/core/fake.py"
+STORAGE_PATH = "src/repro/storage/fake.py"
+OTHER_PATH = "src/repro/analysis/fake.py"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestWallclockRule:
+    def test_time_time_flagged_in_sim(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["FB101"]
+
+    def test_perf_counter_from_import_flagged(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert codes(lint_source(src, CORE_PATH)) == ["FB101"]
+
+    def test_aliased_import_flagged(self):
+        src = "from time import monotonic as mono\nt = mono()\n"
+        assert codes(lint_source(src, STORAGE_PATH)) == ["FB101"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["FB101"]
+
+    def test_allowed_outside_sim_layers(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+    def test_unrelated_time_name_not_flagged(self):
+        # A local function named `time` is not the stdlib call.
+        src = "def time():\n    return 0\nt = time()\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestBareAssertRule:
+    def test_assert_flagged(self):
+        src = "def f(x):\n    assert x > 0\n    return x\n"
+        out = lint_source(src, OTHER_PATH)
+        assert codes(out) == ["FB102"]
+        assert out[0].line == 2
+
+    def test_raise_not_flagged(self):
+        src = "def f(x):\n    if x <= 0:\n        raise ValueError(x)\n    return x\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+    def test_test_files_exempt(self):
+        src = "assert 1 == 1\n"
+        assert lint_source(src, "tests/test_fake.py") == []
+
+
+class TestHookPairingRule:
+    def test_pre_without_post_flagged(self):
+        src = (
+            "class MyEngine:\n"
+            "    def _pre_partition_scatter(self, rt, p, ctx):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB103"]
+
+    def test_both_hooks_clean(self):
+        src = (
+            "class MyEngine:\n"
+            "    def _pre_partition_scatter(self, rt, p, ctx):\n"
+            "        pass\n"
+            "    def _post_partition_scatter(self, rt, p, ctx):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, OTHER_PATH) == []
+
+    def test_post_only_clean(self):
+        src = (
+            "class MyEngine:\n"
+            "    def _post_partition_scatter(self, rt, p, ctx):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, OTHER_PATH) == []
+
+
+class TestVirtualFileRule:
+    def test_direct_construction_flagged(self):
+        src = "f = VirtualFile('x', dev)\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB104"]
+
+    def test_attribute_construction_flagged(self):
+        src = "f = vfs_module.VirtualFile('x', dev)\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB104"]
+
+    def test_allowed_in_vfs_module(self):
+        src = "f = VirtualFile('x', dev)\n"
+        assert lint_source(src, "src/repro/storage/vfs.py") == []
+
+    def test_vfs_create_clean(self):
+        src = "f = vfs.create('x', dev)\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+
+class TestClockMutationRule:
+    def test_assignment_flagged(self):
+        src = "clock._now = 5.0\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB105"]
+
+    def test_augmented_assignment_flagged(self):
+        src = "clock._iowait_time += 1.0\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB105"]
+
+    def test_allowed_in_clock_module(self):
+        src = "self._now = 5.0\n"
+        assert lint_source(src, "src/repro/sim/clock.py") == []
+
+    def test_reading_not_flagged(self):
+        src = "t = clock._now\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+
+class TestTimelineScheduleRule:
+    def test_direct_schedule_flagged(self):
+        src = "req = dev.timeline.schedule(submit=0, service=1, nbytes=2, kind='read')\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB106"]
+
+    def test_allowed_in_device_module(self):
+        src = "req = self.timeline.schedule(submit=0, service=1, nbytes=2, kind='read')\n"
+        assert lint_source(src, "src/repro/storage/device.py") == []
+
+    def test_other_schedule_calls_clean(self):
+        src = "job = scheduler.schedule(task)\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+
+class TestSuppression:
+    def test_blanket_noqa(self):
+        src = "import time\nt = time.time()  # noqa\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_code_specific_noqa(self):
+        src = "import time\nt = time.time()  # noqa: FB101\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_wrong_code_noqa_still_flags(self):
+        src = "import time\nt = time.time()  # noqa: FB102\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["FB101"]
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        out = lint_source("def f(:\n", OTHER_PATH)
+        assert codes(out) == ["FB100"]
+
+    def test_violation_str_format(self):
+        v = LintViolation(path="a.py", line=3, col=1, code="FB102", message="m")
+        assert str(v) == "a.py:3:1: FB102 m"
+
+    def test_rule_catalogue_is_complete(self):
+        assert set(RULES) == {
+            "FB101", "FB102", "FB103", "FB104", "FB105", "FB106",
+        }
+
+    def test_repo_source_tree_is_clean(self):
+        """Acceptance gate: the shipped src/repro has zero violations."""
+        violations = lint_paths([str(REPO_ROOT / "src" / "repro")])
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_lint_paths_on_single_file(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nassert time.time()\n")
+        out = lint_paths([str(bad)])
+        assert sorted(codes(out)) == ["FB101", "FB102"]
