@@ -1,0 +1,161 @@
+"""Multi-query amortization: stage once, traverse Q times.
+
+The staged-graph/query-session split exists so that a batch of traversals
+over one graph pays the partition-splitting I/O exactly once.  This bench
+runs Q=8 BFS queries through ``run_many`` and checks the two promises of
+the architecture against the monolithic path:
+
+* staging I/O (the ``input`` read + ``partition`` write roles) is charged
+  once — the batch's staging bytes equal a *single* ``run()``'s staging
+  bytes, not 8x — and every per-query report contains zero staging-role
+  bytes;
+* each query's BFS output is bit-for-bit identical to a monolithic
+  ``run()`` from the same root on a fresh machine.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_multi_query.py --smoke
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.config import FastBFSConfig
+from repro.core.engine import FastBFSEngine
+from repro.graph.generators import rmat_graph
+from repro.storage.machine import Machine
+from repro.utils.units import KB, format_bytes, format_seconds
+
+Q = 8
+
+#: The I/O roles that belong to staging, not to any query.
+STAGING_ROLES = (("input", "read"), ("partition", "write"))
+
+
+def _config() -> FastBFSConfig:
+    return FastBFSConfig(
+        edge_buffer_bytes=8 * KB,
+        update_buffer_bytes=4 * KB,
+        stay_buffer_bytes=4 * KB,
+        num_partitions=8,
+        allow_in_memory=False,
+    )
+
+
+def _machine() -> Machine:
+    return Machine.commodity_server(memory="8MB")
+
+
+def _roots(graph) -> list:
+    """Q deterministic roots: the Q best-connected vertices."""
+    order = np.argsort(-graph.out_degrees())
+    return [int(v) for v in order[:Q]]
+
+
+def _staging_bytes(report) -> int:
+    by_role = report.bytes_by_role()
+    return sum(by_role.get(role, 0) for role in STAGING_ROLES)
+
+
+def run_comparison(scale: int) -> dict:
+    graph = rmat_graph(scale=scale, edge_factor=8, seed=11)
+    roots = _roots(graph)
+
+    singles = [
+        FastBFSEngine(_config()).run(graph, _machine(), root=r) for r in roots
+    ]
+    staged = FastBFSEngine(_config()).stage(graph, _machine())
+    batch = FastBFSEngine(_config()).run_many(graph, _machine(), roots=roots)
+
+    # Staging paid exactly once, at single-run cost — not Q times.
+    batch_staging = _staging_bytes(batch.staging_report)
+    assert batch_staging == _staging_bytes(staged.staging_report)
+    assert batch_staging > 0
+
+    for single, query in zip(singles, batch.queries):
+        # No query re-pays any staging I/O...
+        assert _staging_bytes(query.report) == 0
+        # ...and each one's output matches the monolithic path bit-for-bit.
+        assert np.array_equal(single.levels, query.levels)
+        assert np.array_equal(single.parents, query.parents)
+        assert single.num_iterations == query.num_iterations
+
+    # Q monolithic runs pay staging Q times; the batch amortizes it away.
+    monolithic_total = sum(s.execution_time for s in singles)
+    assert batch.total_time < monolithic_total
+
+    return {
+        "graph": graph,
+        "roots": roots,
+        "singles": singles,
+        "batch": batch,
+        "monolithic_total": monolithic_total,
+    }
+
+
+def render(data: dict) -> str:
+    batch = data["batch"]
+    rows = [
+        [
+            "staging (once)",
+            "-",
+            format_seconds(batch.staging_time),
+            format_bytes(batch.staging_report.bytes_total),
+            "-",
+        ]
+    ]
+    for root, query in zip(data["roots"], batch.queries):
+        rows.append([
+            f"query {int(query.extras['query_index'])}",
+            str(root),
+            format_seconds(query.execution_time),
+            format_bytes(query.report.bytes_total),
+            str(query.num_iterations),
+        ])
+    rows.append([
+        "batch total",
+        "-",
+        format_seconds(batch.total_time),
+        "-",
+        "-",
+    ])
+    rows.append([
+        f"{Q}x monolithic run()",
+        "-",
+        format_seconds(data["monolithic_total"]),
+        "-",
+        "-",
+    ])
+    title = (
+        f"Multi-query amortization: {Q} BFS queries on "
+        f"{data['graph'].name}, staged once "
+        f"(amortized {format_seconds(batch.amortized_time)}/query)"
+    )
+    return format_table(["phase", "root", "time", "I/O", "iters"], rows, title)
+
+
+def test_multi_query_amortization(benchmark, emit):
+    from conftest import once
+
+    data = once(benchmark, lambda: run_comparison(scale=13))
+    emit("multi_query", render(data))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller graph for a fast CI correctness check",
+    )
+    args = parser.parse_args()
+    data = run_comparison(scale=11 if args.smoke else 13)
+    print(render(data))
+    print("multi-query amortization checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,6 +92,14 @@ class StreamingAlgorithm:
         """
         return base_mask
 
+    def validate_roots(self, num_vertices: int, roots) -> np.ndarray:
+        """Public root validation (raises EngineError on a bad root set).
+
+        The engines' front doors call this before staging so an invalid
+        query fails without mutating the machine.
+        """
+        return self._check_roots(num_vertices, roots)
+
     def _check_roots(self, num_vertices: int, roots) -> np.ndarray:
         roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
         if len(roots) == 0:

@@ -3,17 +3,19 @@
 :func:`run_bfs` wires together a dataset, a machine and an engine with
 sensible defaults — the examples and the CLI go through it, and it is the
 quickest way to reproduce a single data point of the paper.
+:func:`run_queries` is the batch front door: stage the graph once, run one
+query per root entry, and report per-query plus amortized costs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.config import FastBFSConfig
 from repro.core.engine import FastBFSEngine
 from repro.engines.base import EngineConfig
 from repro.engines.graphchi import GraphChiConfig, GraphChiEngine
-from repro.engines.result import EngineResult
+from repro.engines.result import BatchResult, EngineResult
 from repro.engines.xstream import XStreamEngine
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
@@ -37,11 +39,22 @@ def make_engine(name: str, config: Optional[AnyEngineConfig] = None) -> AnyEngin
     raise ConfigError(f"unknown engine {name!r}; options: {ENGINES}")
 
 
+def _resolve_machine(
+    machine: Optional[Machine], machine_kwargs: dict
+) -> Machine:
+    if machine is None:
+        return Machine.commodity_server(**machine_kwargs)
+    if machine_kwargs:
+        raise ConfigError("pass either a machine or machine kwargs, not both")
+    return machine
+
+
 def run_bfs(
     graph: Graph,
     engine: Union[str, AnyEngine] = "fastbfs",
     machine: Optional[Machine] = None,
     root: int = 0,
+    roots: Optional[Sequence[int]] = None,
     config: Optional[AnyEngineConfig] = None,
     **machine_kwargs: object,
 ) -> EngineResult:
@@ -50,12 +63,31 @@ def run_bfs(
     A fresh 4GB/4-core single-HDD commodity server is built unless
     ``machine`` is given; extra keyword arguments (``memory=``, ``cores=``,
     ``num_disks=``, ``disk_kind=``) configure that default machine.
+    ``roots`` makes the single traversal multi-source (every engine
+    supports it); for a *batch* of independent traversals use
+    :func:`run_queries`.
     """
-    if machine is None:
-        machine = Machine.commodity_server(**machine_kwargs)
-    elif machine_kwargs:
-        raise ConfigError("pass either a machine or machine kwargs, not both")
+    machine = _resolve_machine(machine, machine_kwargs)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
-    if isinstance(eng, GraphChiEngine):
-        return eng.run(graph, machine, root=root)
-    return eng.run(graph, machine, root=root)
+    return eng.run(graph, machine, root=root, roots=roots)
+
+
+def run_queries(
+    graph: Graph,
+    roots: Sequence,
+    engine: Union[str, AnyEngine] = "fastbfs",
+    machine: Optional[Machine] = None,
+    config: Optional[AnyEngineConfig] = None,
+    **machine_kwargs: object,
+) -> BatchResult:
+    """Run one BFS per ``roots`` entry, staging the graph exactly once.
+
+    Each entry is a root vertex (or a sequence of roots for one
+    multi-source query).  The staged artifact is shared: staging I/O is
+    paid once, the machine is rewound between queries, and the returned
+    :class:`~repro.engines.result.BatchResult` carries the staging report,
+    one per-query result, and amortized timings.
+    """
+    machine = _resolve_machine(machine, machine_kwargs)
+    eng = make_engine(engine, config) if isinstance(engine, str) else engine
+    return eng.run_many(graph, machine, roots=roots)

@@ -6,6 +6,8 @@ Subcommands:
   Table II dataset stand-in) and write it as a binary edge list + config;
 * ``run`` — run BFS (or WCC) on a graph file or named dataset with a chosen
   engine and simulated machine, printing the execution report;
+* ``batch`` — stage a graph once and run one BFS query per given root,
+  printing per-query and staging-amortized timings;
 * ``compare`` — run all three engines on one input and print the
   paper-style comparison (time / input data / iowait / speedups);
 * ``profile`` — print the per-level convergence profile (Fig. 1 data);
@@ -74,11 +76,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sssp: synthetic edge weights in [1, max]")
     run.add_argument("--root", type=int, default=None,
                      help="BFS root (default: highest-out-degree vertex)")
+    run.add_argument("--roots", type=int, nargs="+", default=None,
+                     help="multi-source traversal: start from all of these")
     run.add_argument("--validate", action="store_true",
                      help="validate the BFS tree against the in-memory reference")
     run.add_argument("--verbose", action="store_true",
                      help="print the per-iteration breakdown")
     _add_machine_args(run)
+
+    batch = sub.add_parser(
+        "batch",
+        help="stage a graph once and run one BFS query per root",
+    )
+    _add_input_args(batch)
+    batch.add_argument("--engine", choices=list(ENGINES), default="fastbfs")
+    batch.add_argument("--roots", type=int, nargs="+", required=True,
+                       help="one BFS query is run per root")
+    batch.add_argument("--verbose", action="store_true",
+                       help="print each query's per-iteration breakdown")
+    _add_machine_args(batch)
 
     cmp_ = sub.add_parser("compare", help="compare all engines on one graph")
     _add_input_args(cmp_)
@@ -224,6 +240,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"root: {root}  reached: {int(reached.sum()):,}  "
               f"max distance: {int(dist[reached].max()) if reached.any() else 0}")
         return 0
+    if args.roots is not None:
+        if args.validate:
+            print("error: --validate needs a single --root traversal",
+                  file=sys.stderr)
+            return 2
+        result = engine.run(graph, machine, roots=args.roots)
+        print(result.summary())
+        print(f"roots: {args.roots}  visited: {(result.levels >= 0).sum():,} "
+              f"of {graph.num_vertices:,}  depth: {result.levels.max()}")
+        print(f"TEPS: {teps(graph, result.levels, result.execution_time):,.0f}")
+        if args.verbose:
+            print()
+            print(result.iteration_table())
+        return 0
     root = _root(args, graph)
     result = engine.run(graph, machine, root=root)
     print(result.summary())
@@ -244,6 +274,49 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             print(f"validation: FAILED — {report.errors}", file=sys.stderr)
             return 1
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    graph = _load_input(args)
+    machine = _machine(args)
+    engine = _engine(args.engine, args)
+    batch = engine.run_many(graph, machine, roots=args.roots)
+    rows: List[List[object]] = [
+        [
+            "staging",
+            "-",
+            format_seconds(batch.staging_time),
+            format_bytes(batch.staging_report.bytes_total),
+            "-",
+            "-",
+        ]
+    ]
+    for i, q in enumerate(batch.queries):
+        rows.append(
+            [
+                f"query {i}",
+                args.roots[i],
+                format_seconds(q.execution_time),
+                format_bytes(q.report.bytes_total),
+                f"{(q.levels >= 0).sum():,}",
+                q.num_iterations,
+            ]
+        )
+    print(format_table(
+        ["phase", "root", "time", "I/O", "visited", "iterations"],
+        rows,
+        title=f"{graph.name}: {batch.num_queries} queries on {args.engine}, "
+              f"staged once",
+    ))
+    print(f"\ntotal: {format_seconds(batch.total_time)}  "
+          f"amortized/query: {format_seconds(batch.amortized_time)}  "
+          f"(staging amortized to "
+          f"{format_seconds(batch.staging_time / batch.num_queries)}/query)")
+    if args.verbose:
+        for i, q in enumerate(batch.queries):
+            print(f"\nquery {i} (root {args.roots[i]}):")
+            print(q.iteration_table())
     return 0
 
 
@@ -391,6 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": cmd_generate,
         "run": cmd_run,
+        "batch": cmd_batch,
         "compare": cmd_compare,
         "profile": cmd_profile,
         "datasets": cmd_datasets,

@@ -59,7 +59,10 @@ class FastBFSEngine(EdgeCentricEngine):
         else:
             stay_index = cfg.stay_disk if cfg.stay_disk is not None else cfg.edge_disk
             stay_device = machine.disk(stay_index)
-        rt.stay = StayStreamManager(machine.clock, machine.vfs, stay_device, cfg)
+        rt.stay = StayStreamManager(
+            machine.clock, machine.vfs, stay_device, cfg,
+            protected=rt.protected_files,
+        )
         sanitizer = getattr(machine, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.watch_staystream(rt.stay)

@@ -23,7 +23,7 @@ each iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -57,11 +57,15 @@ class StayStreamManager:
         vfs: VFS,
         device: Device,
         config: FastBFSConfig,
+        protected: FrozenSet[str] = frozenset(),
     ) -> None:
         self.clock = clock
         self.vfs = vfs
         self.device = device
         self.config = config
+        #: VFS names a swap must not displace (staged-artifact edge files
+        #: owned by a shared StagedGraph, not by this query).
+        self.protected = protected
         self._current: Dict[int, AsyncStreamWriter] = {}
         self._pending: Dict[int, AsyncStreamWriter] = {}
         self.stats = StayStats()
@@ -85,6 +89,12 @@ class StayStreamManager:
             self.clock.wait_until(writer.ready_at())
             new_file = writer.file
             old_name = current_file.name
+            if old_name in self.protected:
+                # The displaced file belongs to a shared staged artifact:
+                # serve the stay file under its own name and leave the
+                # artifact intact for the next query session.
+                self.stats.swaps += 1
+                return new_file, "swap"
             self.vfs.replace(new_file.name, old_name)
             self.stats.swaps += 1
             return new_file, "swap"

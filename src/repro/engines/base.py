@@ -113,7 +113,13 @@ class EngineConfig:
 
 
 class _RunState:
-    """Mutable per-run bundle so engines stay reusable across runs."""
+    """Mutable per-query bundle so engines stay reusable across queries.
+
+    This is session-internal state: outside the ``engines``/``core``
+    subsystems nothing may construct one or poke at an engine's ``_rt``
+    (lint rule FB107) — go through ``engine.run()`` / ``engine.run_many()``
+    or a :class:`~repro.engines.session.QuerySession`.
+    """
 
     def __init__(self) -> None:
         self.graph: Graph = None  # type: ignore[assignment]
@@ -132,6 +138,20 @@ class _RunState:
         self.pending_vertex_writes: List[ScheduledRequest] = []
         self.iterations: List[IterationStats] = []
         self.extras: Dict[str, float] = {}
+        #: Staged-artifact file names this query must not delete/displace
+        #: (empty in the monolithic run() path).
+        self.protected_files: frozenset = frozenset()
+        # FastBFS session state (attached by FastBFSEngine._before_run;
+        # declared here so the per-query ownership is explicit).
+        self.stay = None  # StayStreamManager
+        self.trim_policy = None  # TrimPolicy
+        self.trim_active_iteration = -1
+        self.trim_active = False
+
+
+def _is_root_sequence(entry) -> bool:
+    """Whether a ``run_many`` roots entry is a multi-source root set."""
+    return isinstance(entry, (list, tuple, np.ndarray))
 
 
 class EdgeCentricEngine:
@@ -156,70 +176,143 @@ class EdgeCentricEngine:
     ) -> EngineResult:
         """Execute ``algorithm`` (default BFS from ``root``) on ``machine``.
 
-        The machine must be fresh (zero clock, empty VFS); build one per run
-        so reports are per-run.
+        The machine must be fresh (zero clock, empty VFS) so the report
+        covers exactly this run.  Internally this is ``stage()`` plus one
+        :class:`~repro.engines.session.QuerySession` in monolithic mode
+        (staged files are consumed by the query, the report is cumulative) —
+        bit-for-bit identical to the historical single-phase pipeline.  For
+        several traversals of one graph use :meth:`run_many`.
         """
+        from repro.engines.session import QuerySession
+
         algo = algorithm if algorithm is not None else BFSAlgorithm()
+        self._check_fresh(machine)
+        sanitizer = self._ensure_sanitizer(machine)
+        algo.validate_roots(
+            graph.num_vertices, roots if roots is not None else [root]
+        )
+        staged = self.stage(graph, machine, algorithm=algo)
+        session = QuerySession(
+            self, staged, algorithm=algo,
+            protect_staged=False, cumulative_report=True,
+        )
+        result = session.run(root=root, roots=roots)
+        if sanitizer is not None:
+            result.extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
+            sanitizer.finalize_run()
+            result.extras["sanitizer_violations"] = float(
+                len(sanitizer.violations)
+            )
+        return result
+
+    def run_many(
+        self,
+        graph: Graph,
+        machine: Machine,
+        roots: Sequence,
+        algorithm: Optional[StreamingAlgorithm] = None,
+    ):
+        """Run one query per entry of ``roots``, staging the graph once.
+
+        Each entry is a root vertex (or a sequence of roots for a
+        multi-source query).  The graph is staged once; between queries the
+        machine is rewound to the post-staging checkpoint, so every query
+        starts from an identical clock/VFS/device state and its report
+        covers only that query.  Returns a
+        :class:`~repro.engines.result.BatchResult`.
+        """
+        from repro.engines.result import BatchResult
+        from repro.engines.session import QuerySession
+
+        algo = algorithm if algorithm is not None else BFSAlgorithm()
+        if len(roots) == 0:
+            raise EngineError("run_many needs at least one root entry")
+        self._check_fresh(machine)
+        sanitizer = self._ensure_sanitizer(machine)
+        for entry in roots:
+            algo.validate_roots(
+                graph.num_vertices,
+                entry if _is_root_sequence(entry) else [entry],
+            )
+        staged = self.stage(graph, machine, algorithm=algo)
+        checkpoint = machine.checkpoint()
+        queries: List[EngineResult] = []
+        for q, entry in enumerate(roots):
+            if q:
+                machine.restore(checkpoint)
+            session = QuerySession(self, staged, algorithm=algo)
+            if _is_root_sequence(entry):
+                result = session.run(roots=entry)
+            else:
+                result = session.run(root=int(entry))
+            result.extras["query_index"] = float(q)
+            queries.append(result)
+        extras: Dict[str, float] = {}
+        if sanitizer is not None:
+            extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
+            sanitizer.finalize_run()
+            extras["sanitizer_violations"] = float(len(sanitizer.violations))
+        return BatchResult(
+            engine=self.name,
+            algorithm=algo.name,
+            graph_name=graph.name,
+            staging_report=staged.staging_report,
+            queries=queries,
+            extras=extras,
+        )
+
+    def session(self, staged, algorithm: Optional[StreamingAlgorithm] = None):
+        """A fresh single-use :class:`QuerySession` against ``staged``."""
+        from repro.engines.session import QuerySession
+
+        return QuerySession(self, staged, algorithm=algorithm)
+
+    def _check_fresh(self, machine: Machine) -> None:
         if machine.clock.now != 0.0 or len(machine.vfs) != 0:
             raise EngineError(
                 "machine has already been used; engines need a fresh Machine "
-                "per run (use Machine.fresh())"
+                "per run (use Machine.fresh(), or Machine.checkpoint()/"
+                "restore() via run_many for repeated queries)"
             )
+
+    def _ensure_sanitizer(self, machine: Machine):
         sanitizer = getattr(machine, "sanitizer", None)
         if sanitizer is None and self.config.sanitize:
             from repro.tooling.sanitizer import Sanitizer
 
             sanitizer = Sanitizer().install(machine)
-        rt = _RunState()
-        rt.graph = graph
-        rt.machine = machine
-        rt.algo = algo
-        self._rt = rt
-        try:
-            rt.state = algo.init_state(
-                graph.num_vertices, roots if roots is not None else [root]
-            )
-            if "active" not in rt.state.dtype.names:
-                raise EngineError("algorithm state must contain an 'active' field")
-            self._plan(rt)
-            self._load_input(rt)
-            self._before_run(rt)
-
-            pass_updates = self._scatter_only_pass(rt)
-            iteration = 0
-            while pass_updates > 0:
-                iteration += 1
-                pass_updates = self._merged_pass(rt, iteration)
-            self._after_run(rt)
-            if sanitizer is not None:
-                rt.extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
-                sanitizer.finalize_run()
-                rt.extras["sanitizer_violations"] = float(
-                    len(sanitizer.violations)
-                )
-            return EngineResult(
-                engine=self.name,
-                algorithm=algo.name,
-                graph_name=graph.name,
-                output=algo.result(rt.state),
-                report=machine.report(),
-                iterations=rt.iterations,
-                extras=dict(rt.extras),
-            )
-        finally:
-            self._rt = None
+        return sanitizer
 
     # ------------------------------------------------------------------
     # planning & input staging
     # ------------------------------------------------------------------
-    def _plan(self, rt: _RunState) -> None:
+    def stage(
+        self,
+        graph: Graph,
+        machine: Machine,
+        algorithm: Optional[StreamingAlgorithm] = None,
+    ):
+        """Build the reusable staged artifact for ``graph`` on ``machine``.
+
+        Plans the partitioning (memory-budget driven) and splits the raw
+        edge list into per-partition edge files: one sequential read plus
+        parallel sequential writes, charged like any other I/O (the input
+        file pre-exists on disk 0; creating it is not charged).  Ends with
+        a drain barrier, so the machine is quiescent — a valid
+        :meth:`~repro.storage.machine.Machine.checkpoint` point.  Returns a
+        :class:`~repro.engines.session.StagedGraph`.
+        """
+        from repro.engines.session import StagedGraph
+
         cfg = self.config
-        machine = rt.machine
-        algo = rt.algo
-        n = rt.graph.num_vertices
+        algo = algorithm if algorithm is not None else BFSAlgorithm()
+        baseline = machine.report()
+
+        # Plan: partition count and device placement.
+        n = graph.num_vertices
         vertex_bytes = n * algo.disk_record_bytes
-        working_set = rt.graph.nbytes * cfg.in_memory_factor + vertex_bytes
-        rt.in_memory = bool(
+        working_set = graph.nbytes * cfg.in_memory_factor + vertex_bytes
+        in_memory = bool(
             cfg.allow_in_memory and working_set <= machine.memory_bytes
         )
         count = cfg.num_partitions or plan_partition_count(
@@ -228,41 +321,27 @@ class EdgeCentricEngine:
             machine.memory_bytes,
             cfg.vertex_memory_fraction,
         )
-        rt.partitioning = VertexPartitioning(n, count)
-        if rt.in_memory:
-            rt.dev_edges = rt.dev_updates = rt.dev_vertices = machine.ram
+        part = VertexPartitioning(n, count)
+        if in_memory:
+            dev_edges = dev_updates = dev_vertices = machine.ram
         else:
-            rt.dev_edges = machine.disk(cfg.edge_disk)
-            rt.dev_updates = machine.disk(cfg.update_disk)
-            rt.dev_vertices = machine.disk(cfg.vertex_disk)
-        rt.extras["partitions"] = float(rt.partitioning.count)
-        rt.extras["in_memory"] = float(rt.in_memory)
+            dev_edges = machine.disk(cfg.edge_disk)
+            dev_updates = machine.disk(cfg.update_disk)
+            dev_vertices = machine.disk(cfg.vertex_disk)
 
-    def _load_input(self, rt: _RunState) -> None:
-        """Stage the raw edge list into per-partition edge files.
-
-        The input file pre-exists on disk 0 (creating it is not charged);
-        splitting it into streaming partitions is one sequential read plus
-        parallel sequential writes, charged like any other I/O.
-        """
-        cfg = self.config
-        machine = rt.machine
         vfs = machine.vfs
-        part = rt.partitioning
-        input_file = vfs.create(f"input:{rt.graph.name}", machine.disk(0))
-        if rt.graph.num_edges:
-            input_file.append_records(rt.graph.edges)
+        input_file = vfs.create(f"input:{graph.name}", machine.disk(0))
+        if graph.num_edges:
+            input_file.append_records(graph.edges)
         input_file.seal()
 
         # Vertex set files (timing anchors; the state array is the data path).
-        rt.vertex_files = [
-            vfs.create(f"vertices:p{p}", rt.dev_vertices) for p in part
-        ]
+        vertex_files = [vfs.create(f"vertices:p{p}", dev_vertices) for p in part]
 
-        if part.count == 1 and rt.dev_edges is machine.disk(0) and not rt.in_memory:
+        if part.count == 1 and dev_edges is machine.disk(0) and not in_memory:
             # Single streaming partition on the input disk: stream the input
             # directly, exactly like X-Stream with one partition.
-            rt.edge_files = [input_file]
+            edge_files = [input_file]
         else:
             reader = StreamReader(
                 machine.clock,
@@ -274,7 +353,7 @@ class EdgeCentricEngine:
             writers = [
                 StreamWriter(
                     machine.clock,
-                    vfs.create(f"edges:p{p}", rt.dev_edges),
+                    vfs.create(f"edges:p{p}", dev_edges),
                     cfg.edge_buffer_bytes,
                     group=f"partition:p{p}",
                 )
@@ -297,9 +376,25 @@ class EdgeCentricEngine:
             last_ends = [w.last_end for w in writers if w.last_end is not None]
             if last_ends:
                 machine.clock.wait_until(max(last_ends))
-            rt.edge_files = [w.file for w in writers]
+            edge_files = [w.file for w in writers]
+        for f in edge_files:
+            f.seal()
 
-        rt.update_in = [None] * part.count
+        return StagedGraph(
+            graph=graph,
+            machine=machine,
+            config=cfg,
+            record_bytes=algo.disk_record_bytes,
+            partitioning=part,
+            in_memory=in_memory,
+            dev_edges=dev_edges,
+            dev_updates=dev_updates,
+            dev_vertices=dev_vertices,
+            input_file=input_file,
+            edge_files=edge_files,
+            vertex_files=vertex_files,
+            staging_report=machine.report().minus(baseline),
+        )
 
     # ------------------------------------------------------------------
     # passes

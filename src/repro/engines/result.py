@@ -104,3 +104,64 @@ class EngineResult:
         for key, value in sorted(self.extras.items()):
             lines.append(f"  {key}: {value}")
         return "\n".join(lines)
+
+
+@dataclass
+class BatchResult:
+    """Output of one ``engine.run_many`` batch: staged once, queried Q times.
+
+    ``staging_report`` covers exactly the shared staging phase (planning
+    I/O + partition split); each entry of ``queries`` is a per-query
+    :class:`EngineResult` whose report covers only that query (the machine
+    is rewound to the post-staging checkpoint between queries).
+    """
+
+    engine: str
+    algorithm: str
+    graph_name: str
+    staging_report: IOReport
+    queries: List[EngineResult] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def staging_time(self) -> float:
+        return self.staging_report.execution_time
+
+    @property
+    def query_times(self) -> List[float]:
+        return [q.execution_time for q in self.queries]
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock of the batch: one staging plus every query."""
+        return self.staging_time + sum(self.query_times)
+
+    @property
+    def amortized_time(self) -> float:
+        """Per-query cost with staging spread across the batch."""
+        if not self.queries:
+            return 0.0
+        return self.total_time / self.num_queries
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.engine} / {self.algorithm} on {self.graph_name}: "
+            f"{self.num_queries} queries, staged once",
+            f"  staging: {format_seconds(self.staging_time)} "
+            f"({format_bytes(self.staging_report.bytes_total)})",
+        ]
+        for i, q in enumerate(self.queries):
+            lines.append(
+                f"  query {i}: {format_seconds(q.execution_time)} over "
+                f"{q.num_iterations} iterations "
+                f"({format_bytes(q.report.bytes_total)})"
+            )
+        lines.append(
+            f"  total: {format_seconds(self.total_time)}  "
+            f"amortized/query: {format_seconds(self.amortized_time)}"
+        )
+        return "\n".join(lines)

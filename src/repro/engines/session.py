@@ -1,0 +1,230 @@
+"""Staged-graph artifacts and query sessions.
+
+The monolithic ``EdgeCentricEngine.run()`` conflated two phases with very
+different lifetimes:
+
+* **staging** — splitting the raw edge list into per-partition edge files
+  (plus the vertex-set files), one sequential read + sequential writes.
+  This depends only on (graph, machine profile, engine config, vertex
+  record size) and is reusable across traversals;
+* **querying** — one BFS/WCC/... execution: frontier state, update
+  streams, the FastBFS stay/trim machinery, iteration stats.
+
+This module makes the cut explicit.  A :class:`StagedGraph` is the sealed
+artifact produced by ``engine.stage()``; a :class:`QuerySession` owns all
+per-query state and runs exactly one algorithm execution against a staged
+artifact.  ``engine.run()`` is now literally ``stage() + one session``, and
+``engine.run_many()`` stages once, then rewinds the machine between
+sessions via the ``Machine.checkpoint()/restore()`` protocol — amortizing
+staging I/O to ~1/Q of its monolithic cost over Q queries.
+
+Session internals (the ``_RunState`` bundle) are private to the engine
+layer; external code must go through the session API (enforced by lint
+rule FB107).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.algorithms.streaming import BFSAlgorithm, StreamingAlgorithm
+from repro.engines.result import EngineResult
+from repro.errors import EngineError
+from repro.graph.graph import Graph
+from repro.graph.partition import VertexPartitioning
+from repro.storage.device import Device
+from repro.storage.machine import IOReport, Machine
+from repro.storage.vfs import VirtualFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.engines.base import EdgeCentricEngine
+
+
+@dataclass
+class StagedGraph:
+    """The reusable partitioning artifact of one ``engine.stage()`` call.
+
+    Holds the partitioning plan, the sealed per-partition edge files and
+    the vertex-set files, all living in ``machine``'s VFS.  The artifact is
+    valid for any algorithm whose ``disk_record_bytes`` matches
+    ``record_bytes`` (the value the partition count was planned with), on
+    this machine, under the config it was staged with.
+    """
+
+    graph: Graph
+    machine: Machine
+    config: object  # EngineConfig (kept loose to avoid an import cycle)
+    record_bytes: int
+    partitioning: VertexPartitioning
+    in_memory: bool
+    dev_edges: Device
+    dev_updates: Device
+    dev_vertices: Device
+    input_file: VirtualFile
+    edge_files: List[VirtualFile] = field(default_factory=list)
+    vertex_files: List[VirtualFile] = field(default_factory=list)
+    #: Delta report covering exactly the staging I/O and compute.
+    staging_report: Optional[IOReport] = None
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioning.count
+
+    @property
+    def staging_time(self) -> float:
+        return self.staging_report.execution_time if self.staging_report else 0.0
+
+    def protected_names(self) -> frozenset:
+        """VFS names a query session must never delete or displace."""
+        names = {self.input_file.name}
+        names.update(f.name for f in self.edge_files)
+        names.update(f.name for f in self.vertex_files)
+        return frozenset(names)
+
+    def compatible_with(self, algorithm: StreamingAlgorithm) -> bool:
+        """Whether the partition plan is valid for ``algorithm``."""
+        return algorithm.disk_record_bytes == self.record_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StagedGraph({self.graph.name!r}, partitions={self.num_partitions}, "
+            f"in_memory={self.in_memory})"
+        )
+
+
+class QuerySession:
+    """One algorithm execution against a :class:`StagedGraph`.
+
+    A session owns every piece of per-query state: the vertex state array,
+    the update streams, the FastBFS stay-stream manager and trim policy,
+    and the per-iteration stats.  Sessions are single-use — open a new one
+    per query (``engine.session(staged)``), or let ``engine.run_many``
+    drive the checkpoint/restore loop for you.
+
+    ``protect_staged=True`` (the default for reusable sessions) keeps the
+    artifact intact: FastBFS stay-file swaps leave the staged edge files in
+    place, and swapped-in per-query files are deleted when the session
+    finishes.  ``protect_staged=False`` reproduces the historical
+    monolithic behaviour bit-for-bit (stay files replace the staged edge
+    files in the VFS), which is what ``engine.run()`` uses.
+
+    ``cumulative_report=False`` (default) reports only what this session
+    cost — the machine's counters at session end minus session start.
+    ``engine.run()`` sets it to True so the monolithic report still covers
+    staging + query, exactly as before the split.
+    """
+
+    def __init__(
+        self,
+        engine: "EdgeCentricEngine",
+        staged: StagedGraph,
+        algorithm: Optional[StreamingAlgorithm] = None,
+        protect_staged: bool = True,
+        cumulative_report: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.staged = staged
+        self.algorithm = algorithm if algorithm is not None else BFSAlgorithm()
+        if not staged.compatible_with(self.algorithm):
+            raise EngineError(
+                f"staged artifact was planned for {staged.record_bytes}-byte "
+                f"vertex records; algorithm {self.algorithm.name!r} uses "
+                f"{self.algorithm.disk_record_bytes} — re-stage for this "
+                "algorithm"
+            )
+        self.protect_staged = protect_staged
+        self.cumulative_report = cumulative_report
+        self._used = False
+
+    # ------------------------------------------------------------------
+    def run(
+        self, root: int = 0, roots: Optional[Sequence[int]] = None
+    ) -> EngineResult:
+        """Execute the session's algorithm from ``root`` (or ``roots``).
+
+        Returns an :class:`EngineResult` whose report covers this query
+        only (unless ``cumulative_report``).  Raises on reuse: per-query
+        state is consumed by the run.
+        """
+        if self._used:
+            raise EngineError(
+                "QuerySession is single-use: one session per query "
+                "(open another via engine.session(staged))"
+            )
+        self._used = True
+        engine = self.engine
+        staged = self.staged
+        machine = staged.machine
+        algo = self.algorithm
+        sanitizer = getattr(machine, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.begin_session()
+        baseline = None if self.cumulative_report else machine.report()
+
+        # Assemble the per-query state bundle from the staged artifact.
+        from repro.engines.base import _RunState  # local: avoid import cycle
+
+        rt = _RunState()
+        rt.graph = staged.graph
+        rt.machine = machine
+        rt.algo = algo
+        rt.partitioning = staged.partitioning
+        rt.in_memory = staged.in_memory
+        rt.dev_edges = staged.dev_edges
+        rt.dev_updates = staged.dev_updates
+        rt.dev_vertices = staged.dev_vertices
+        rt.edge_files = list(staged.edge_files)
+        rt.vertex_files = list(staged.vertex_files)
+        rt.update_in = [None] * staged.partitioning.count
+        rt.extras["partitions"] = float(staged.partitioning.count)
+        rt.extras["in_memory"] = float(staged.in_memory)
+        if self.protect_staged:
+            rt.protected_files = staged.protected_names()
+        rt.state = algo.init_state(
+            staged.graph.num_vertices, roots if roots is not None else [root]
+        )
+        if "active" not in rt.state.dtype.names:
+            raise EngineError("algorithm state must contain an 'active' field")
+
+        engine._rt = rt
+        try:
+            engine._before_run(rt)
+            pass_updates = engine._scatter_only_pass(rt)
+            iteration = 0
+            while pass_updates > 0:
+                iteration += 1
+                pass_updates = engine._merged_pass(rt, iteration)
+            engine._after_run(rt)
+            self._cleanup(rt)
+            if sanitizer is not None:
+                sanitizer.finalize_session()
+            report = machine.report()
+            if baseline is not None:
+                report = report.minus(baseline)
+            return EngineResult(
+                engine=engine.name,
+                algorithm=algo.name,
+                graph_name=staged.graph.name,
+                output=algo.result(rt.state),
+                report=report,
+                iterations=rt.iterations,
+                extras=dict(rt.extras),
+            )
+        finally:
+            engine._rt = None
+
+    # ------------------------------------------------------------------
+    def _cleanup(self, rt) -> None:
+        """Delete per-query files swapped in over the staged edge files.
+
+        Only meaningful with ``protect_staged``: the artifact's own files
+        are untouched and any stay file a query promoted to edge-input duty
+        is transient session state.
+        """
+        if not self.protect_staged:
+            return
+        vfs = self.staged.machine.vfs
+        for p, f in enumerate(rt.edge_files):
+            if f is not self.staged.edge_files[p]:
+                vfs.delete_if_exists(f.name)

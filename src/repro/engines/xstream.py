@@ -7,6 +7,12 @@ trimmed.  Its strengths (sequential bandwidth, no preprocessing, in-memory
 mode when the graph fits) all live in :class:`EdgeCentricEngine`; its
 weakness — "indiscriminately traverses the whole graph in every iteration"
 (paper §IV-B) — is the default hook behaviour.
+
+The staged-graph/query-session split applies unchanged: ``stage()`` builds
+the per-partition edge files once, and ``run_many()`` amortizes that cost
+over a batch of traversals.  Because X-Stream never swaps stay files over
+the staged inputs, a query session leaves the artifact untouched even
+without the protection machinery FastBFS needs.
 """
 
 from __future__ import annotations

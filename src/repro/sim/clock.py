@@ -17,9 +17,21 @@ wall clock and the iowait *ratio* from ``iostat`` (Fig. 6).
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ClockState:
+    """Opaque snapshot of a :class:`SimClock` (checkpoint protocol)."""
+
+    now: float
+    start: float
+    compute_time: float
+    iowait_time: float
+    compute_by_category: Dict[str, float] = field(default_factory=dict)
 
 
 class SimClock:
@@ -85,6 +97,34 @@ class SimClock:
             self._now = t
             return waited
         return 0.0
+
+    def snapshot(self) -> ClockState:
+        """Capture the clock's full state for a later :meth:`restore`."""
+        return ClockState(
+            now=self._now,
+            start=self._start,
+            compute_time=self._compute_time,
+            iowait_time=self._iowait_time,
+            compute_by_category=dict(self._compute_by_category),
+        )
+
+    def restore(self, state: ClockState) -> None:
+        """Roll the clock back to a snapshot.
+
+        This is the one sanctioned violation of forward-only time: the
+        Machine checkpoint/restore protocol resets the clock between query
+        sessions so every query starts from the identical post-staging
+        instant.  Outside that protocol the clock never moves backwards.
+        """
+        if state.now > self._now:
+            raise SimulationError(
+                f"cannot restore the clock forward ({self._now} -> {state.now})"
+            )
+        self._now = state.now
+        self._start = state.start
+        self._compute_time = state.compute_time
+        self._iowait_time = state.iowait_time
+        self._compute_by_category = defaultdict(float, state.compute_by_category)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

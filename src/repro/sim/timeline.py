@@ -177,6 +177,41 @@ class Timeline:
             free_at = req.end
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the timeline's mutable state for a later :meth:`restore`.
+
+        Live queue entries are shared by reference: a snapshot is only
+        valid for restore while every request in it has already *ended* at
+        snapshot time (a quiescent device), because later cancellations and
+        repacks never touch requests whose start precedes the current
+        engine time.  The Machine checkpoint protocol guarantees this by
+        checkpointing at the post-staging barrier.
+        """
+        return {
+            "queue": list(self._queue),
+            "settled_end": self._settled_end,
+            "settled_busy": self._settled_busy,
+            "settled_count": self._settled_count,
+            "bytes_by_kind": dict(self._bytes_by_kind),
+            "bytes_by_role": dict(self._bytes_by_role),
+            "last_submit": self._last_submit,
+            "trace_len": len(self.trace),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Roll the timeline back to a snapshot (drops later requests)."""
+        self._queue = list(state["queue"])  # type: ignore[arg-type]
+        self._settled_end = state["settled_end"]  # type: ignore[assignment]
+        self._settled_busy = state["settled_busy"]  # type: ignore[assignment]
+        self._settled_count = state["settled_count"]  # type: ignore[assignment]
+        self._bytes_by_kind = dict(state["bytes_by_kind"])  # type: ignore[arg-type]
+        self._bytes_by_role = dict(state["bytes_by_role"])  # type: ignore[arg-type]
+        self._last_submit = state["last_submit"]  # type: ignore[assignment]
+        del self.trace[state["trace_len"] :]  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property

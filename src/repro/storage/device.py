@@ -154,6 +154,23 @@ class Device:
         )
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture head position, seek count and timeline state."""
+        return {
+            "head": self._head,
+            "seek_count": self._seek_count,
+            "timeline": self.timeline.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the device back to a snapshot (see Machine.restore)."""
+        self._head = state["head"]
+        self._seek_count = state["seek_count"]
+        self.timeline.restore(state["timeline"])
+
+    # ------------------------------------------------------------------
     # accounting passthroughs
     # ------------------------------------------------------------------
     @property

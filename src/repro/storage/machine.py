@@ -84,6 +84,50 @@ class IOReport:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    def minus(self, baseline: "IOReport") -> "IOReport":
+        """This report with ``baseline``'s counters subtracted.
+
+        The per-query accounting of the session protocol: ``baseline`` is
+        the machine's report at session start (e.g. right after staging)
+        and the difference is what the query itself cost.  Devices are
+        matched by name; both reports must come from the same machine.
+        """
+        base_devs = {d.name: d for d in baseline.devices}
+        devices = []
+        for dev in self.devices:
+            base = base_devs.get(dev.name)
+            if base is None:
+                devices.append(dev)
+                continue
+            roles = {
+                key: value - base.bytes_by_role.get(key, 0)
+                for key, value in dev.bytes_by_role.items()
+            }
+            roles = {k: v for k, v in roles.items() if v}
+            devices.append(
+                DeviceReport(
+                    name=dev.name,
+                    kind=dev.kind,
+                    bytes_read=dev.bytes_read - base.bytes_read,
+                    bytes_written=dev.bytes_written - base.bytes_written,
+                    seek_count=dev.seek_count - base.seek_count,
+                    busy_time=dev.busy_time - base.busy_time,
+                    bytes_by_role=roles,
+                )
+            )
+        breakdown = {
+            key: value - baseline.compute_breakdown.get(key, 0.0)
+            for key, value in self.compute_breakdown.items()
+        }
+        breakdown = {k: v for k, v in breakdown.items() if v}
+        return IOReport(
+            execution_time=self.execution_time - baseline.execution_time,
+            compute_time=self.compute_time - baseline.compute_time,
+            iowait_time=self.iowait_time - baseline.iowait_time,
+            compute_breakdown=breakdown,
+            devices=devices,
+        )
+
     def summary(self) -> str:
         lines = [
             f"time={format_seconds(self.execution_time)} "
@@ -102,11 +146,29 @@ class IOReport:
         return "\n".join(lines)
 
 
-class Machine:
-    """A simulated commodity server for one engine run.
+@dataclass
+class MachineCheckpoint:
+    """Opaque snapshot of a machine's mutable simulation state.
 
-    Machines are cheap; build a fresh one per run so timelines and byte
-    counters start from zero (see :meth:`fresh`).
+    Produced by :meth:`Machine.checkpoint` and consumed by
+    :meth:`Machine.restore` — the protocol that lets one machine serve many
+    query sessions against a shared staged artifact instead of demanding a
+    fresh machine per traversal.
+    """
+
+    clock_state: object
+    vfs_state: object
+    device_states: List[object] = field(default_factory=list)
+    cache_state: Optional[object] = None
+
+
+class Machine:
+    """A simulated commodity server.
+
+    Historically one machine served exactly one engine run ("build a fresh
+    one per run"); the :meth:`checkpoint`/:meth:`restore` protocol relaxes
+    that into explicit snapshots, so a batch front door can stage a graph
+    once and rewind the clock/VFS/device state between queries.
     """
 
     def __init__(
@@ -205,6 +267,41 @@ class Machine:
 
     def all_devices(self) -> List[Device]:
         return [*self.disks, self.ram]
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (the query-session protocol)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> MachineCheckpoint:
+        """Snapshot clock, VFS, devices and page cache.
+
+        Take checkpoints only at a quiescent point — no device request may
+        still be in flight (end > clock.now).  The engines' staging phase
+        ends with exactly such a barrier.
+        """
+        return MachineCheckpoint(
+            clock_state=self.clock.snapshot(),
+            vfs_state=self.vfs.snapshot(),
+            device_states=[dev.snapshot() for dev in self.all_devices()],
+            cache_state=(
+                self.page_cache.snapshot() if self.page_cache is not None else None
+            ),
+        )
+
+    def restore(self, cp: MachineCheckpoint) -> None:
+        """Roll the machine back to a checkpoint.
+
+        Files created since the checkpoint are deleted, the clock and every
+        device timeline rewind, and an installed sanitizer is told the
+        rollback is sanctioned (so its monotonicity checker re-anchors).
+        """
+        self.clock.restore(cp.clock_state)
+        self.vfs.restore(cp.vfs_state)
+        for dev, state in zip(self.all_devices(), cp.device_states):
+            dev.restore(state)
+        if self.page_cache is not None and cp.cache_state is not None:
+            self.page_cache.restore(cp.cache_state)
+        if self.sanitizer is not None:
+            self.sanitizer.notify_restore(self.clock.now)
 
     # ------------------------------------------------------------------
     # reporting

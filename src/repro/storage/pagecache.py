@@ -88,6 +88,23 @@ class PageCache:
             self._lru.popitem(last=False)
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture residency and hit/miss counters for a later restore."""
+        return {
+            "lru": OrderedDict(self._lru),
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the cache back to a snapshot (see Machine.restore)."""
+        self._lru = OrderedDict(state["lru"])
+        self.hit_bytes = state["hit_bytes"]
+        self.miss_bytes = state["miss_bytes"]
+
+    # ------------------------------------------------------------------
     @property
     def resident_bytes(self) -> int:
         return len(self._lru) * self.block_bytes

@@ -177,6 +177,35 @@ class VFS:
         self._files[target_name] = f
         return f
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, VirtualFile]:
+        """Capture the current namespace for a later :meth:`restore`.
+
+        The snapshot shares file objects by reference — it records *which*
+        files exist under *which* names, not their contents.  That is the
+        contract the query-session protocol needs: staged artifact files
+        are sealed (immutable) by the time a checkpoint is taken, and
+        everything created afterwards is transient per-query state.
+        """
+        return dict(self._files)
+
+    def restore(self, snap: Dict[str, VirtualFile]) -> None:
+        """Roll the namespace back to a snapshot.
+
+        Files created since the snapshot are deleted; files present in the
+        snapshot are re-registered (and resurrected if a query displaced
+        them via :meth:`replace`).
+        """
+        for name, f in self._files.items():
+            if snap.get(name) is not f:
+                f.deleted = True
+        self._files = dict(snap)
+        for name, f in self._files.items():
+            f.name = name
+            f.deleted = False
+
     def names(self) -> List[str]:
         return sorted(self._files)
 

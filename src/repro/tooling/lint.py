@@ -34,6 +34,12 @@ FB106  timeline-direct-schedule
     No ``*.timeline.schedule(...)`` calls outside ``storage/device.py``
     and ``sim/``: requests must go through ``Device.submit`` so seeks,
     bytes and the page cache are accounted.
+FB107  runstate-outside-engine
+    No ``_RunState(...)`` construction and no assignment to a ``._rt``
+    attribute outside ``engines/`` and ``core/``.  Per-query state is
+    owned by :class:`~repro.engines.session.QuerySession`; front-ends
+    that build or swap it by hand bypass the session protocol (staged
+    file protection, sanitizer session scoping, checkpoint discipline).
 """
 
 from __future__ import annotations
@@ -48,6 +54,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 #: Simulated-time subsystems where wall-clock reads are forbidden.
 SIM_SUBSYSTEMS = frozenset({"sim", "core", "storage"})
 
+#: Subsystems that legitimately own per-query run state (FB107).
+ENGINE_SUBSYSTEMS = frozenset({"engines", "core"})
+
 _BANNED_TIME_FUNCS = frozenset(
     {"time", "perf_counter", "monotonic", "process_time", "clock"}
 )
@@ -61,6 +70,7 @@ RULES: Dict[str, str] = {
     "FB104": "direct VirtualFile construction outside storage/vfs.py",
     "FB105": "mutation of SimClock internals outside sim/clock.py",
     "FB106": "Timeline.schedule call outside Device.submit",
+    "FB107": "_RunState construction or ._rt mutation outside engines/core",
 }
 
 
@@ -89,6 +99,10 @@ class _FileContext:
     @property
     def in_sim_layer(self) -> bool:
         return self.subsystem in SIM_SUBSYSTEMS
+
+    @property
+    def in_engine_layer(self) -> bool:
+        return self.subsystem in ENGINE_SUBSYSTEMS
 
     @property
     def is_vfs_module(self) -> bool:
@@ -160,13 +174,14 @@ class _Visitor(ast.NodeVisitor):
                     self._datetime_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
-    # -- FB101 / FB104 / FB106 -----------------------------------------
+    # -- FB101 / FB104 / FB106 / FB107 ---------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if self.ctx.in_sim_layer:
             self._check_wallclock(node, func)
         self._check_virtualfile(node, func)
         self._check_timeline_schedule(node, func)
+        self._check_runstate_construction(node, func)
         self.generic_visit(node)
 
     def _check_wallclock(self, node: ast.Call, func: ast.expr) -> None:
@@ -229,6 +244,24 @@ class _Visitor(ast.NodeVisitor):
                 "timeline.schedule() (bypasses seek/byte accounting)",
             )
 
+    def _check_runstate_construction(
+        self, node: ast.Call, func: ast.expr
+    ) -> None:
+        if self.ctx.in_engine_layer:
+            return
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "_RunState":
+            self._flag(
+                node,
+                "FB107",
+                "per-query state is owned by QuerySession; do not construct "
+                "_RunState outside engines/ or core/",
+            )
+
     # -- FB102 ---------------------------------------------------------
     def visit_Assert(self, node: ast.Assert) -> None:
         self._flag(
@@ -259,14 +292,16 @@ class _Visitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
-    # -- FB105 ---------------------------------------------------------
+    # -- FB105 / FB107 -------------------------------------------------
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._check_clock_mutation(target)
+            self._check_rt_mutation(target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_clock_mutation(node.target)
+        self._check_rt_mutation(node.target)
         self.generic_visit(node)
 
     def _check_clock_mutation(self, target: ast.expr) -> None:
@@ -281,6 +316,17 @@ class _Visitor(ast.NodeVisitor):
                 "FB105",
                 f"assignment to {target.attr} outside sim/clock.py breaks "
                 "the clock's monotonicity guarantee",
+            )
+
+    def _check_rt_mutation(self, target: ast.expr) -> None:
+        if self.ctx.in_engine_layer:
+            return
+        if isinstance(target, ast.Attribute) and target.attr == "_rt":
+            self._flag(
+                target,
+                "FB107",
+                "assignment to ._rt outside engines/ or core/ bypasses the "
+                "QuerySession protocol (use engine.session(staged).run())",
             )
 
 

@@ -145,6 +145,8 @@ class Sanitizer:
         self._role_bytes: Dict[Tuple[str, str], int] = {}
         self._last_now = 0.0
         self._machine: Optional["Machine"] = None
+        self._session_baseline: Optional[set] = None
+        self._session_checked: set = set()
 
     # ------------------------------------------------------------------
     # installation
@@ -318,6 +320,59 @@ class Sanitizer:
             )
         self._last_now = max(self._last_now, now)
 
+    def notify_restore(self, now: float) -> None:
+        """Re-anchor the monotonicity checker after a sanctioned rollback.
+
+        ``Machine.restore`` is the one legal way the clock moves backwards
+        (the query-session protocol rewinding to a post-staging
+        checkpoint); it calls this so the next observed operation is
+        checked against the restored time, not the rolled-back one.
+        """
+        self._last_now = now
+
+    # ------------------------------------------------------------------
+    # session-scoped checks (the query-session protocol)
+    # ------------------------------------------------------------------
+    def begin_session(self) -> None:
+        """Mark the start of one query session.
+
+        Files alive now (e.g. a sealed staged artifact shared across
+        queries) are outside the session's leak accounting: only files
+        created *after* this point must be gone — or be legitimate
+        survivors — when :meth:`finalize_session` runs.
+        """
+        self._session_baseline = set(self._files)
+
+    def finalize_session(self) -> List[Violation]:
+        """Leak-check the files created since :meth:`begin_session`.
+
+        A staged artifact surviving the query is *not* a leak (it predates
+        the session); transient per-query files (``stay:*``, ``updates:*``)
+        still alive are.  Raises in strict mode if this session leaked.
+        """
+        baseline = self._session_baseline or set()
+        self._session_baseline = None
+        before = len(self.violations)
+        for key, rec in self._files.items():
+            if key in baseline:
+                continue
+            self._session_checked.add(key)
+            f = rec.file
+            if f.deleted:
+                continue
+            role = Timeline.role_of(f.name)
+            if role not in SURVIVOR_ROLES:
+                self._record(
+                    "vfs-leak",
+                    f"file {f.name!r} ({f.nbytes} bytes on "
+                    f"{f.device.name!r}) still live at end of session",
+                    site=rec.site,
+                )
+        new = self.violations[before:]
+        if self.strict and new:
+            raise SanitizerError(self.report())
+        return new
+
     # ------------------------------------------------------------------
     # end-of-run checks
     # ------------------------------------------------------------------
@@ -337,7 +392,11 @@ class Sanitizer:
         return list(self.violations)
 
     def _check_leaks(self) -> None:
-        for rec in self._files.values():
+        for key, rec in self._files.items():
+            if key in self._session_checked:
+                # Already leak-checked by a finalize_session; re-reporting
+                # here would double-count the same file.
+                continue
             f = rec.file
             if f.deleted:
                 continue

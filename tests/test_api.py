@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms.reference import bfs_levels
-from repro.api import ENGINES, make_engine, run_bfs
+from repro.api import ENGINES, make_engine, run_bfs, run_queries
 from repro.core.engine import FastBFSEngine
 from repro.engines.graphchi import GraphChiEngine
 from repro.engines.xstream import XStreamEngine
@@ -78,3 +78,28 @@ class TestRunBfs:
     def test_summary_smoke(self, graph):
         text = run_bfs(graph, memory="8MB").summary()
         assert "fastbfs" in text
+
+    def test_multi_source_roots(self, graph):
+        result = run_bfs(graph, roots=[0, 1], memory="8MB")
+        assert result.levels[0] == 0 and result.levels[1] == 0
+
+
+class TestRunQueries:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_matches_single_runs(self, graph, engine):
+        roots = [0, int(np.argmax(graph.out_degrees()))]
+        batch = run_queries(graph, roots, engine=engine, memory="8MB")
+        assert batch.num_queries == 2
+        for root, q in zip(roots, batch.queries):
+            single = run_bfs(graph, engine=engine, root=root, memory="8MB")
+            assert np.array_equal(single.levels, q.levels)
+
+    def test_multi_source_entry(self, graph):
+        batch = run_queries(graph, [0, [0, 1]], memory="8MB")
+        assert batch.queries[1].levels[1] == 0
+
+    def test_machine_and_kwargs_conflict(self, graph):
+        with pytest.raises(ConfigError):
+            run_queries(
+                graph, [0], machine=Machine.commodity_server(), memory="1GB"
+            )

@@ -58,6 +58,14 @@ class TestRun:
         assert run_cli(["run", "--graph", graph_file, "--root", "0"]) == 0
         assert "root: 0" in capsys.readouterr().out
 
+    def test_multi_source_roots(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--roots", "0", "5"]) == 0
+        assert "roots:" in capsys.readouterr().out
+
+    def test_roots_with_validate_rejected(self, graph_file, capsys):
+        assert run_cli(["run", "--graph", graph_file, "--roots", "0", "5",
+                        "--validate"]) == 2
+
     def test_wcc(self, graph_file, capsys):
         assert run_cli(["run", "--graph", graph_file, "--algorithm", "wcc"]) == 0
         assert "components" in capsys.readouterr().out
@@ -81,6 +89,27 @@ class TestRun:
 
     def test_ssd_machine(self, graph_file, capsys):
         assert run_cli(["run", "--graph", graph_file, "--disk-kind", "ssd"]) == 0
+
+
+class TestBatch:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        out = str(tmp_path / "g.bin")
+        run_cli(["generate", "rmat", out, "--scale", "9", "--edge-factor", "8"])
+        return out
+
+    @pytest.mark.parametrize("engine", ["fastbfs", "x-stream", "graphchi"])
+    def test_engines(self, graph_file, capsys, engine):
+        assert run_cli(["batch", "--graph", graph_file, "--engine", engine,
+                        "--roots", "0", "5", "9"]) == 0
+        text = capsys.readouterr().out
+        assert "staging" in text
+        assert "amortized/query" in text
+
+    def test_verbose_prints_iterations(self, graph_file, capsys):
+        assert run_cli(["batch", "--graph", graph_file, "--roots", "0", "5",
+                        "--verbose"]) == 0
+        assert "iter" in capsys.readouterr().out
 
 
 class TestCompare:

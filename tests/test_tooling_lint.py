@@ -137,6 +137,33 @@ class TestTimelineScheduleRule:
         assert lint_source(src, OTHER_PATH) == []
 
 
+class TestRunStateRule:
+    def test_construction_flagged_outside_engine_layer(self):
+        src = "rt = _RunState(graph, machine, cfg, algo)\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB107"]
+
+    def test_attribute_construction_flagged(self):
+        src = "rt = base._RunState(graph, machine, cfg, algo)\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB107"]
+
+    def test_rt_assignment_flagged(self):
+        src = "engine._rt = rt\n"
+        assert codes(lint_source(src, OTHER_PATH)) == ["FB107"]
+
+    def test_allowed_in_engines_and_core(self):
+        src = "rt = _RunState(graph, machine, cfg, algo)\nself._rt = rt\n"
+        assert lint_source(src, "src/repro/engines/session.py") == []
+        assert lint_source(src, "src/repro/core/engine.py") == []
+
+    def test_reading_rt_not_flagged(self):
+        src = "stats = engine._rt.iteration_stats\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+    def test_noqa_suppresses(self):
+        src = "engine._rt = rt  # noqa: FB107\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+
 class TestSuppression:
     def test_blanket_noqa(self):
         src = "import time\nt = time.time()  # noqa\n"
@@ -162,7 +189,7 @@ class TestHarness:
 
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {
-            "FB101", "FB102", "FB103", "FB104", "FB105", "FB106",
+            "FB101", "FB102", "FB103", "FB104", "FB105", "FB106", "FB107",
         }
 
     def test_repo_source_tree_is_clean(self):

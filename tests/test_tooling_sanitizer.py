@@ -240,6 +240,60 @@ class TestStayStateChecker:
         )
 
 
+class TestSessionScoping:
+    def test_preexisting_files_are_not_session_leaks(self):
+        # A sealed staged artifact is alive before the session begins; it
+        # surviving the query must not count as a leak.
+        m = sanitized_machine()
+        m.vfs.create("updates:in:p0", m.disks[0])
+        m.sanitizer.begin_session()
+        assert m.sanitizer.finalize_session() == []
+
+    def test_transient_session_file_flagged(self):
+        m = sanitized_machine()
+        m.sanitizer.begin_session()
+        m.vfs.create("stay:p0:i1", m.disks[0])
+        out = m.sanitizer.finalize_session()
+        assert len(out) == 1
+        assert out[0].checker == "vfs-leak"
+        assert "end of session" in out[0].message
+
+    def test_survivor_roles_survive_the_session(self):
+        m = sanitized_machine()
+        m.sanitizer.begin_session()
+        m.vfs.create("edges:p0", m.disks[0])
+        assert m.sanitizer.finalize_session() == []
+
+    def test_session_leak_not_double_reported_by_finalize_run(self):
+        m = sanitized_machine()
+        m.sanitizer.begin_session()
+        m.vfs.create("stay:p0:i1", m.disks[0])
+        m.sanitizer.finalize_session()
+        count = len(m.sanitizer.leaks())
+        m.sanitizer.finalize_run()
+        assert len(m.sanitizer.leaks()) == count
+
+    def test_deleted_session_file_clean(self):
+        m = sanitized_machine()
+        m.sanitizer.begin_session()
+        f = m.vfs.create("stay:p0:i1", m.disks[0])
+        m.vfs.delete(f.name)
+        assert m.sanitizer.finalize_session() == []
+
+    def test_sanitized_batch_run_clean(self):
+        """Acceptance gate: staged files shared across a run_many batch are
+        session survivors, not leaks."""
+        g = rmat_graph(scale=8, edge_factor=6, seed=5)
+        m = sanitized_machine()
+        batch = FastBFSEngine(small_fastbfs_config()).run_many(
+            g, m, roots=[0, hub_root(g)]
+        )
+        assert batch.num_queries == 2
+        assert m.sanitizer.finalized
+        assert m.sanitizer.leaks() == []
+        assert m.sanitizer.violations == []
+
+
 class TestStrictMode:
     def test_strict_raises_with_report(self):
         m = fresh_machine()
