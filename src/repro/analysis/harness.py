@@ -233,6 +233,39 @@ class ExperimentRunner:
         staged.machine.restore(checkpoint)
         return eng.session(staged).run(root=root)
 
+    def run_batch(
+        self,
+        dataset: str,
+        engine: str,
+        roots: Iterable,
+        disk_kind: str = "hdd",
+        num_disks: int = 1,
+        memory: Optional[str] = None,
+        threads: int = 4,
+        **config_overrides,
+    ):
+        """One ``run_many`` batch with per-query observability attached.
+
+        Not memoized (each call is a fresh staging + batch).  The returned
+        :class:`~repro.engines.result.BatchResult` carries a batch-wide
+        :class:`~repro.obs.CounterRegistry` as ``metrics`` and a per-query
+        registry on every ``queries`` entry, built from that query's delta
+        report — so per-query byte counters reconcile with per-query
+        :class:`IOReport` totals by construction.
+        """
+        from repro.obs.counters import CounterRegistry
+
+        graph = self.graph(dataset)
+        machine = self.machine(disk_kind, num_disks, memory)
+        eng = self._engine(engine, threads, config_overrides)
+        batch = eng.run_many(graph, machine, roots=list(roots))
+        registry = CounterRegistry.from_machine(machine)
+        for q in batch.queries:
+            q.metrics = CounterRegistry.from_report(q.report).ingest_result(q)
+            registry.ingest_result(q)
+        batch.metrics = registry
+        return batch
+
     def compare(
         self,
         dataset: str,

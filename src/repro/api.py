@@ -19,6 +19,12 @@ from repro.engines.result import BatchResult, EngineResult
 from repro.engines.xstream import XStreamEngine
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
+from repro.obs import (
+    CounterRegistry,
+    Tracer,
+    write_prometheus,
+    write_spans_jsonl,
+)
 from repro.storage.machine import Machine
 
 ENGINES = ("fastbfs", "x-stream", "graphchi")
@@ -49,6 +55,39 @@ def _resolve_machine(
     return machine
 
 
+def _prepare_tracing(machine: Machine, trace_path: Optional[str]) -> None:
+    """Attach a fresh tracer when a trace export was requested."""
+    if trace_path is not None and not machine.tracer.enabled:
+        machine.attach_tracer(Tracer())
+
+
+def export_observability(
+    machine: Machine,
+    result: Union[EngineResult, BatchResult],
+    trace_path: Optional[str],
+    metrics_path: Optional[str],
+) -> None:
+    """Attach the counter snapshot to ``result`` and write export files.
+
+    Counters are sampled from the machine (so they reconcile exactly with
+    ``machine.report()``) and the run's engine-level counters are folded
+    in.  Export is strictly post-run: nothing here touches the simulated
+    clock or devices.
+    """
+    registry = CounterRegistry.from_machine(machine)
+    if isinstance(result, BatchResult):
+        for q in result.queries:
+            q.metrics = CounterRegistry.from_report(q.report).ingest_result(q)
+            registry.ingest_result(q)
+    else:
+        registry.ingest_result(result)
+    result.metrics = registry
+    if trace_path is not None:
+        write_spans_jsonl(machine.tracer, trace_path)
+    if metrics_path is not None:
+        write_prometheus(registry, metrics_path)
+
+
 def run_bfs(
     graph: Graph,
     engine: Union[str, AnyEngine] = "fastbfs",
@@ -56,6 +95,8 @@ def run_bfs(
     root: int = 0,
     roots: Optional[Sequence[int]] = None,
     config: Optional[AnyEngineConfig] = None,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
     **machine_kwargs: object,
 ) -> EngineResult:
     """Run BFS on ``graph`` with the named engine and return its result.
@@ -66,10 +107,19 @@ def run_bfs(
     ``roots`` makes the single traversal multi-source (every engine
     supports it); for a *batch* of independent traversals use
     :func:`run_queries`.
+
+    ``trace_path`` writes the span trace as JSONL (attaching a tracer to
+    the machine if none is installed); ``metrics_path`` writes a
+    Prometheus-style counter snapshot.  Either also attaches the sampled
+    :class:`~repro.obs.CounterRegistry` as ``result.metrics``.  Tracing
+    never changes simulated timings or byte totals.
     """
     machine = _resolve_machine(machine, machine_kwargs)
+    _prepare_tracing(machine, trace_path)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
-    return eng.run(graph, machine, root=root, roots=roots)
+    result = eng.run(graph, machine, root=root, roots=roots)
+    export_observability(machine, result, trace_path, metrics_path)
+    return result
 
 
 def run_queries(
@@ -78,6 +128,8 @@ def run_queries(
     engine: Union[str, AnyEngine] = "fastbfs",
     machine: Optional[Machine] = None,
     config: Optional[AnyEngineConfig] = None,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
     **machine_kwargs: object,
 ) -> BatchResult:
     """Run one BFS per ``roots`` entry, staging the graph exactly once.
@@ -87,7 +139,15 @@ def run_queries(
     paid once, the machine is rewound between queries, and the returned
     :class:`~repro.engines.result.BatchResult` carries the staging report,
     one per-query result, and amortized timings.
+
+    ``trace_path``/``metrics_path`` export the batch's span trace (one
+    ``query`` span per root entry) and counter snapshot, and attach
+    registries to the batch (``batch.metrics``) and to every query
+    (``query.metrics``, built from that query's delta report).
     """
     machine = _resolve_machine(machine, machine_kwargs)
+    _prepare_tracing(machine, trace_path)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
-    return eng.run_many(graph, machine, roots=roots)
+    batch = eng.run_many(graph, machine, roots=roots)
+    export_observability(machine, batch, trace_path, metrics_path)
+    return batch

@@ -33,7 +33,7 @@ from repro.analysis.calibration import (
 )
 from repro.analysis.harness import default_root
 from repro.analysis.tables import format_table
-from repro.api import ENGINES, AnyEngine, make_engine
+from repro.api import ENGINES, AnyEngine, export_observability, make_engine
 from repro.errors import ReproError
 from repro.graph.datasets import DATASETS, build_dataset
 from repro.graph.graph import Graph
@@ -83,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--verbose", action="store_true",
                      help="print the per-iteration breakdown")
     _add_machine_args(run)
+    _add_obs_args(run)
 
     batch = sub.add_parser(
         "batch",
@@ -95,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--verbose", action="store_true",
                        help="print each query's per-iteration breakdown")
     _add_machine_args(batch)
+    _add_obs_args(batch)
 
     cmp_ = sub.add_parser("compare", help="compare all engines on one graph")
     _add_input_args(cmp_)
@@ -157,6 +159,34 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--threads", type=int, default=4)
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write the span trace as JSONL (repro.obs)")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write a Prometheus-style counter snapshot")
+
+
+def _obs_attach(machine: Machine, args: argparse.Namespace) -> None:
+    """Install a tracer before the run when ``--trace`` was given."""
+    if getattr(args, "trace", None) is not None:
+        from repro.obs import Tracer
+
+        machine.attach_tracer(Tracer())
+
+
+def _obs_export(machine: Machine, result, args: argparse.Namespace) -> None:
+    """Write ``--trace``/``--metrics`` exports after the run, if requested."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return
+    export_observability(machine, result, trace_path, metrics_path)
+    if trace_path is not None:
+        print(f"trace: {len(machine.tracer.spans)} spans -> {trace_path}")
+    if metrics_path is not None:
+        print(f"metrics: {len(result.metrics)} series -> {metrics_path}")
+
+
 def _load_input(args: argparse.Namespace) -> Graph:
     if args.graph:
         return load_graph(args.graph)
@@ -205,7 +235,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load_input(args)
     machine = _machine(args)
+    _obs_attach(machine, args)
     engine = _engine(args.engine, args)
+
+    def run_engine(**kwargs):
+        result = engine.run(graph, machine, **kwargs)
+        _obs_export(machine, result, args)
+        return result
+
     if args.algorithm in ("wcc", "sssp"):
         if args.engine == "graphchi" and args.algorithm == "sssp":
             print("error: the GraphChi baseline implements bfs and wcc only",
@@ -213,11 +250,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         if args.algorithm == "wcc":
             if args.engine == "graphchi":
-                result = engine.run(graph, machine, algorithm="wcc")
+                result = run_engine(algorithm="wcc")
             else:
-                result = engine.run(
-                    graph, machine, algorithm=WCCAlgorithm(), root=0
-                )
+                result = run_engine(algorithm=WCCAlgorithm(), root=0)
             labels = result.output["label"]
             print(result.summary())
             print(f"components: {len(np.unique(labels)):,}")
@@ -229,8 +264,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
 
         root = _root(args, graph)
-        result = engine.run(
-            graph, machine,
+        result = run_engine(
             algorithm=WeightedSSSPAlgorithm(hash_weights(args.max_weight)),
             root=root,
         )
@@ -245,7 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("error: --validate needs a single --root traversal",
                   file=sys.stderr)
             return 2
-        result = engine.run(graph, machine, roots=args.roots)
+        result = run_engine(roots=args.roots)
         print(result.summary())
         print(f"roots: {args.roots}  visited: {(result.levels >= 0).sum():,} "
               f"of {graph.num_vertices:,}  depth: {result.levels.max()}")
@@ -255,7 +289,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(result.iteration_table())
         return 0
     root = _root(args, graph)
-    result = engine.run(graph, machine, root=root)
+    result = run_engine(root=root)
     print(result.summary())
     print(f"root: {root}  visited: {(result.levels >= 0).sum():,} "
           f"of {graph.num_vertices:,}  depth: {result.levels.max()}")
@@ -280,8 +314,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_batch(args: argparse.Namespace) -> int:
     graph = _load_input(args)
     machine = _machine(args)
+    _obs_attach(machine, args)
     engine = _engine(args.engine, args)
     batch = engine.run_many(graph, machine, roots=args.roots)
+    _obs_export(machine, batch, args)
     rows: List[List[object]] = [
         [
             "staging",

@@ -62,6 +62,7 @@ class FastBFSEngine(EdgeCentricEngine):
         rt.stay = StayStreamManager(
             machine.clock, machine.vfs, stay_device, cfg,
             protected=rt.protected_files,
+            tracer=machine.tracer,
         )
         sanitizer = getattr(machine, "sanitizer", None)
         if sanitizer is not None:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.config import FastBFSConfig
 from repro.errors import EngineError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import SimClock
 from repro.storage.device import Device
 from repro.storage.streams import AsyncStreamWriter
@@ -58,6 +59,7 @@ class StayStreamManager:
         device: Device,
         config: FastBFSConfig,
         protected: FrozenSet[str] = frozenset(),
+        tracer=NULL_TRACER,
     ) -> None:
         self.clock = clock
         self.vfs = vfs
@@ -69,6 +71,12 @@ class StayStreamManager:
         self._current: Dict[int, AsyncStreamWriter] = {}
         self._pending: Dict[int, AsyncStreamWriter] = {}
         self.stats = StayStats()
+        # Stay flushes outlive the iteration span that opened them, so
+        # their spans are emitted retroactively under the span open at
+        # construction time — the enclosing query span.
+        self.tracer = tracer
+        self._span_anchor = tracer.current_id
+        self._iteration_of: Dict[int, int] = {}  # id(writer) -> iteration
 
     # ------------------------------------------------------------------
     # input resolution (start of a partition's scatter)
@@ -87,6 +95,7 @@ class StayStreamManager:
         if writer.is_ready(grace=self.config.cancellation_grace):
             # Possibly a short wait inside the grace window.
             self.clock.wait_until(writer.ready_at())
+            self._emit_span("stay_flush", p, writer, end=writer.ready_at())
             new_file = writer.file
             old_name = current_file.name
             if old_name in self.protected:
@@ -99,9 +108,33 @@ class StayStreamManager:
             self.stats.swaps += 1
             return new_file, "swap"
         writer.cancel()
+        self._emit_span(
+            "stay_cancel", p, writer, end=self.clock.now, end_of_run=False
+        )
         self.stats.cancellations += 1
         self.vfs.delete(writer.file.name)
         return current_file, "cancel"
+
+    def _emit_span(
+        self,
+        name: str,
+        p: int,
+        writer: AsyncStreamWriter,
+        end: float,
+        **attrs,
+    ) -> None:
+        """Retroactive span for one stay writer's lifetime (see __init__)."""
+        self.tracer.emit(
+            name,
+            start=writer.opened_at,
+            end=max(end, writer.opened_at),
+            parent_id=self._span_anchor,
+            partition=p,
+            iteration=self._iteration_of.pop(id(writer), -1),
+            records=writer.records_written,
+            bytes=writer.file.nbytes,
+            **attrs,
+        )
 
     # ------------------------------------------------------------------
     # output production (during a partition's scatter)
@@ -126,6 +159,7 @@ class StayStreamManager:
             group=f"stay:p{p}:i{iteration}",
         )
         self._current[p] = writer
+        self._iteration_of[id(writer)] = iteration
         self.stats.files_written += 1
         return writer
 
@@ -158,8 +192,11 @@ class StayStreamManager:
         The in-flight buffers still complete and stay charged — wasted
         write-back is a real cost of trimming near the end of a traversal.
         """
-        for writer in list(self._pending.values()) + list(self._current.values()):
+        for p, writer in list(self._pending.items()) + list(self._current.items()):
             writer.cancel()
+            self._emit_span(
+                "stay_cancel", p, writer, end=self.clock.now, end_of_run=True
+            )
             self.vfs.delete_if_exists(writer.file.name)
             self.stats.end_of_run_discards += 1
         self._pending.clear()

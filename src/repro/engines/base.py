@@ -302,11 +302,20 @@ class EdgeCentricEngine:
         :meth:`~repro.storage.machine.Machine.checkpoint` point.  Returns a
         :class:`~repro.engines.session.StagedGraph`.
         """
-        from repro.engines.session import StagedGraph
-
         cfg = self.config
         algo = algorithm if algorithm is not None else BFSAlgorithm()
         baseline = machine.report()
+        with machine.tracer.span(
+            "stage", engine=self.name, graph=graph.name, edges=graph.num_edges
+        ) as stage_span:
+            staged = self._stage_body(graph, machine, cfg, algo, baseline)
+            stage_span.set(
+                partitions=staged.partitioning.count, in_memory=staged.in_memory
+            )
+        return staged
+
+    def _stage_body(self, graph, machine, cfg, algo, baseline):
+        from repro.engines.session import StagedGraph
 
         # Plan: partition count and device placement.
         n = graph.num_vertices
@@ -404,19 +413,32 @@ class EdgeCentricEngine:
         ctx = AlgoContext(0)
         stats = IterationStats(iteration=0)
         rt.iterations.append(stats)
-        self._open_update_writers(rt, iteration=0)
         part = rt.partitioning
         active_per_part = self._active_per_partition(rt)
-        for p in part:
-            if not self._should_process_partition(rt, p, False, int(active_per_part[p])):
-                stats.partitions_skipped += 1
-                continue
-            stats.partitions_processed += 1
-            self.config.cost_model.charge_phase(rt.machine.clock, self.config.threads)
-            self._read_vertices(rt, p)
-            stats.updates_generated += self._scatter_partition(rt, p, ctx, stats)
-            self._write_vertices(rt, p)
-        self._finish_pass(rt, stats)
+        with rt.machine.tracer.span(
+            "iteration", iteration=0, frontier=int(active_per_part.sum())
+        ) as it_span:
+            self._open_update_writers(rt, iteration=0)
+            for p in part:
+                if not self._should_process_partition(
+                    rt, p, False, int(active_per_part[p])
+                ):
+                    stats.partitions_skipped += 1
+                    continue
+                stats.partitions_processed += 1
+                self.config.cost_model.charge_phase(
+                    rt.machine.clock, self.config.threads
+                )
+                self._read_vertices(rt, p)
+                stats.updates_generated += self._scatter_partition(rt, p, ctx, stats)
+                self._write_vertices(rt, p)
+            self._finish_pass(rt, stats)
+            it_span.set(
+                edges_scanned=stats.edges_scanned,
+                updates_generated=stats.updates_generated,
+                partitions_processed=stats.partitions_processed,
+                partitions_skipped=stats.partitions_skipped,
+            )
         return stats.updates_generated
 
     def _merged_pass(self, rt: _RunState, iteration: int) -> int:
@@ -426,56 +448,80 @@ class EdgeCentricEngine:
         stats = IterationStats(iteration=iteration)
         rt.iterations.append(stats)
         prev_updates = rt.update_in
-        self._open_update_writers(rt, iteration=iteration)
-        for p in rt.partitioning:
-            update_file = prev_updates[p]
-            has_updates = update_file is not None and update_file.num_records > 0
-            if not self._should_process_partition(rt, p, has_updates, 0):
-                stats.partitions_skipped += 1
-                continue
-            stats.partitions_processed += 1
-            self.config.cost_model.charge_phase(rt.machine.clock, self.config.threads)
-            self._read_vertices(rt, p)
-            activated = (
-                self._gather_partition(rt, p, gather_ctx, update_file)
-                if has_updates
-                else 0
-            )
-            lo, hi = rt.partitioning.range_of(p)
-            rt.algo.after_gather(gather_ctx, rt.state[lo:hi])
-            stats.activated += activated
-            scatter_allowed = (
-                self.config.max_iterations is None
-                or iteration < self.config.max_iterations
-            )
-            if scatter_allowed and self._should_scatter(rt, p, activated):
-                stats.updates_generated += self._scatter_partition(
-                    rt, p, scatter_ctx, stats
+        frontier = sum(
+            f.num_records for f in prev_updates if f is not None
+        )
+        with rt.machine.tracer.span(
+            "iteration", iteration=iteration, frontier=int(frontier)
+        ) as it_span:
+            self._open_update_writers(rt, iteration=iteration)
+            for p in rt.partitioning:
+                update_file = prev_updates[p]
+                has_updates = update_file is not None and update_file.num_records > 0
+                if not self._should_process_partition(rt, p, has_updates, 0):
+                    stats.partitions_skipped += 1
+                    continue
+                stats.partitions_processed += 1
+                self.config.cost_model.charge_phase(
+                    rt.machine.clock, self.config.threads
                 )
-            self._write_vertices(rt, p)
-        for f in prev_updates:
-            if f is not None:
-                rt.machine.vfs.delete(f.name)
-        self._finish_pass(rt, stats)
+                self._read_vertices(rt, p)
+                activated = (
+                    self._gather_partition(rt, p, gather_ctx, update_file)
+                    if has_updates
+                    else 0
+                )
+                lo, hi = rt.partitioning.range_of(p)
+                rt.algo.after_gather(gather_ctx, rt.state[lo:hi])
+                stats.activated += activated
+                scatter_allowed = (
+                    self.config.max_iterations is None
+                    or iteration < self.config.max_iterations
+                )
+                if scatter_allowed and self._should_scatter(rt, p, activated):
+                    stats.updates_generated += self._scatter_partition(
+                        rt, p, scatter_ctx, stats
+                    )
+                self._write_vertices(rt, p)
+            for f in prev_updates:
+                if f is not None:
+                    rt.machine.vfs.delete(f.name)
+            self._finish_pass(rt, stats)
+            it_span.set(
+                edges_scanned=stats.edges_scanned,
+                updates_generated=stats.updates_generated,
+                activated=stats.activated,
+                partitions_processed=stats.partitions_processed,
+                partitions_skipped=stats.partitions_skipped,
+            )
         return stats.updates_generated
 
     def _finish_pass(self, rt: _RunState, stats: IterationStats) -> None:
         """Barrier: updates (and vertex writes) durable before the next pass."""
         clock = rt.machine.clock
-        new_updates: List[Optional[VirtualFile]] = []
-        ends = []
-        for w in rt.update_writers:
-            w.close(drain=False)
-            if w.last_end is not None:
-                ends.append(w.last_end)
-            if w.file.num_records > 0:
-                new_updates.append(w.file)
-            else:
-                rt.machine.vfs.delete(w.file.name)
-                new_updates.append(None)
-        ends.extend(r.end for r in rt.pending_vertex_writes)
-        if ends:
-            clock.wait_until(max(ends))
+        with rt.machine.tracer.span(
+            "shuffle", iteration=stats.iteration
+        ) as shuffle_span:
+            new_updates: List[Optional[VirtualFile]] = []
+            ends = []
+            for w in rt.update_writers:
+                w.close(drain=False)
+                if w.last_end is not None:
+                    ends.append(w.last_end)
+                if w.file.num_records > 0:
+                    new_updates.append(w.file)
+                else:
+                    rt.machine.vfs.delete(w.file.name)
+                    new_updates.append(None)
+            ends.extend(r.end for r in rt.pending_vertex_writes)
+            if ends:
+                clock.wait_until(max(ends))
+            shuffle_span.set(
+                updates_persisted=sum(
+                    f.num_records for f in new_updates if f is not None
+                ),
+                update_bytes=sum(f.nbytes for f in new_updates if f is not None),
+            )
         rt.pending_vertex_writes = []
         rt.update_writers = []
         rt.update_in = new_updates
@@ -492,47 +538,51 @@ class EdgeCentricEngine:
         machine = rt.machine
         lo, hi = rt.partitioning.range_of(p)
         state_view = rt.state[lo:hi]
-        in_file = self._edge_input_file(rt, p, ctx, stats)
-        self._pre_partition_scatter(rt, p, ctx)
-        reader = StreamReader(
-            machine.clock,
-            in_file,
-            cfg.edge_buffer_bytes,
-            prefetch=cfg.num_edge_buffers,
-            group=f"edges:p{p}",
-        )
-        generated = 0
-        for buf in reader:
-            stats.edges_scanned += len(buf)
-            cm.charge(
+        with machine.tracer.span("scatter", partition=p) as sc_span:
+            in_file = self._edge_input_file(rt, p, ctx, stats)
+            self._pre_partition_scatter(rt, p, ctx)
+            reader = StreamReader(
                 machine.clock,
-                "scatter",
-                cm.scatter_per_edge,
-                len(buf),
-                cfg.threads,
-                machine.cores,
+                in_file,
+                cfg.edge_buffer_bytes,
+                prefetch=cfg.num_edge_buffers,
+                group=f"edges:p{p}",
             )
-            src_local = buf["src"].astype(np.int64) - lo
-            updates, eliminate = rt.algo.scatter(
-                ctx, state_view, src_local, buf["src"], buf["dst"]
-            )
-            self._on_scatter_buffer(rt, p, ctx, buf, src_local, eliminate, stats)
-            if len(updates):
+            generated = 0
+            streamed = 0
+            for buf in reader:
+                stats.edges_scanned += len(buf)
+                streamed += len(buf)
                 cm.charge(
                     machine.clock,
-                    "shuffle",
-                    cm.shuffle_per_update,
-                    len(updates),
+                    "scatter",
+                    cm.scatter_per_edge,
+                    len(buf),
                     cfg.threads,
                     machine.cores,
                 )
-                for j, (_, chunk) in rt.partitioning.split_by_partition(
-                    updates["dst"], updates
-                ):
-                    rt.update_writers[j].append(chunk)
-                generated += len(updates)
-        state_view["active"][:] = 0
-        self._post_partition_scatter(rt, p, ctx)
+                src_local = buf["src"].astype(np.int64) - lo
+                updates, eliminate = rt.algo.scatter(
+                    ctx, state_view, src_local, buf["src"], buf["dst"]
+                )
+                self._on_scatter_buffer(rt, p, ctx, buf, src_local, eliminate, stats)
+                if len(updates):
+                    cm.charge(
+                        machine.clock,
+                        "shuffle",
+                        cm.shuffle_per_update,
+                        len(updates),
+                        cfg.threads,
+                        machine.cores,
+                    )
+                    for j, (_, chunk) in rt.partitioning.split_by_partition(
+                        updates["dst"], updates
+                    ):
+                        rt.update_writers[j].append(chunk)
+                    generated += len(updates)
+            state_view["active"][:] = 0
+            self._post_partition_scatter(rt, p, ctx)
+            sc_span.set(edges_streamed=streamed, updates_produced=generated)
         return generated
 
     def _gather_partition(
@@ -547,25 +597,29 @@ class EdgeCentricEngine:
         machine = rt.machine
         lo, _hi = rt.partitioning.range_of(p)
         state_view = rt.state[lo:_hi]
-        reader = StreamReader(
-            machine.clock,
-            update_file,
-            cfg.update_buffer_bytes,
-            prefetch=cfg.num_edge_buffers,
-            group=f"updates:p{p}",
-        )
-        activated = 0
-        for buf in reader:
-            cm.charge(
+        with machine.tracer.span("gather", partition=p) as g_span:
+            reader = StreamReader(
                 machine.clock,
-                "gather",
-                cm.gather_per_update,
-                len(buf),
-                cfg.threads,
-                machine.cores,
+                update_file,
+                cfg.update_buffer_bytes,
+                prefetch=cfg.num_edge_buffers,
+                group=f"updates:p{p}",
             )
-            dst_local = buf["dst"].astype(np.int64) - lo
-            activated += rt.algo.gather(ctx, state_view, dst_local, buf["payload"])
+            activated = 0
+            gathered = 0
+            for buf in reader:
+                gathered += len(buf)
+                cm.charge(
+                    machine.clock,
+                    "gather",
+                    cm.gather_per_update,
+                    len(buf),
+                    cfg.threads,
+                    machine.cores,
+                )
+                dst_local = buf["dst"].astype(np.int64) - lo
+                activated += rt.algo.gather(ctx, state_view, dst_local, buf["payload"])
+            g_span.set(updates_gathered=gathered, activated=activated)
         return activated
 
     # ------------------------------------------------------------------

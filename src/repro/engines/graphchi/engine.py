@@ -223,6 +223,14 @@ class GraphChiEngine:
 
     def _prepare(self, graph: Graph, machine: Machine) -> _PreparedShards:
         """Build the reusable shard artifact (GraphChi's staging phase)."""
+        with machine.tracer.span(
+            "stage", engine=self.name, graph=graph.name, edges=graph.num_edges
+        ) as stage_span:
+            prep = self._prepare_body(graph, machine)
+            stage_span.set(partitions=prep.num_intervals, in_memory=False)
+        return prep
+
+    def _prepare_body(self, graph: Graph, machine: Machine) -> _PreparedShards:
         cfg = self.config
         cm = cfg.cost_model
         disk = machine.disk(0)
@@ -327,88 +335,123 @@ class GraphChiEngine:
 
         iterations = []
         iteration = 0
-        while scheduled.any():
-            stats = IterationStats(iteration=iteration)
-            iterations.append(stats)
-            next_scheduled = np.zeros(p, dtype=bool)
-            for j in range(p):
-                if not scheduled[j]:
-                    stats.partitions_skipped += 1
-                    continue
-                scheduled[j] = False
-                stats.partitions_processed += 1
-                cm.charge_phase(clock, cfg.threads)
-                lo, hi = sharded.interval_range(j)
-                shard = sharded.shards[j]
-                # --- I/O: vertex values in.
-                self._submit_wait(
-                    machine, vertex_files[j], "read",
-                    (hi - lo) * cfg.vertex_record_bytes,
-                )
-                # --- I/O: memory shard in (one sequential read) + the
-                # per-load in-memory shard assembly sort.
-                self._submit_wait(
-                    machine, shard_files[j], "read",
-                    len(shard) * cfg.edge_record_bytes,
-                )
-                if len(shard):
-                    cm.charge(
-                        clock, "graphchi-sort",
-                        cm.graphchi_sort_per_edge * max(1.0, np.log2(len(shard))),
-                        len(shard), cfg.threads, machine.cores,
-                    )
-                # --- I/O: sliding windows of the other shards.
-                window_edges = 0
-                for k in range(p):
-                    if k == j or windows[k, j] == 0:
-                        continue
-                    window_edges += int(windows[k, j])
-                    offset = int(window_offsets[k, j]) * cfg.edge_record_bytes
-                    self._submit_wait(
-                        machine, shard_files[k], "read",
-                        int(windows[k, j]) * cfg.edge_record_bytes,
-                        offset=offset,
-                    )
-                # --- compute: relax interval j's in-edges (async semantics).
-                touched = len(shard) + window_edges
-                cm.charge(
-                    clock, "graphchi-update", cm.graphchi_per_edge,
-                    touched, cfg.threads, machine.cores,
-                )
-                stats.edges_scanned += touched
-                improved = self._relax(shard, dist, parent, delta)
-                changed = len(improved)
-                stats.activated += changed
-                if changed and cfg.selective_scheduling:
-                    hit = shards_touched(improved.astype(np.int64))
-                    later = hit[hit > j]
-                    earlier = hit[hit <= j]
-                    scheduled[later] = True  # same pass (dynamic)
-                    next_scheduled[earlier] = True
-                elif changed:
-                    next_scheduled[:] = True
-                if changed:
-                    # --- I/O: dirty value columns + vertex values out.
-                    for k in range(p):
-                        if k == j or windows[k, j] == 0:
+        with machine.tracer.span(
+            "query",
+            engine=self.name,
+            algorithm=algorithm,
+            graph=graph.name,
+            roots=[int(r) for r in root_list],
+        ) as q_span:
+            while scheduled.any():
+                stats = IterationStats(iteration=iteration)
+                iterations.append(stats)
+                next_scheduled = np.zeros(p, dtype=bool)
+                with machine.tracer.span(
+                    "iteration",
+                    iteration=iteration,
+                    frontier=int(scheduled.sum()),
+                ) as it_span:
+                    for j in range(p):
+                        if not scheduled[j]:
+                            stats.partitions_skipped += 1
                             continue
-                        offset = int(window_offsets[k, j]) * cfg.edge_value_bytes
-                        self._submit_wait(
-                            machine, shard_files[k], "write",
-                            int(windows[k, j]) * cfg.edge_value_bytes,
-                            offset=offset,
-                        )
-                    self._submit_wait(
-                        machine, shard_files[j], "write",
-                        len(shard) * cfg.edge_value_bytes,
+                        scheduled[j] = False
+                        stats.partitions_processed += 1
+                        with machine.tracer.span(
+                            "interval", partition=j
+                        ) as iv_span:
+                            cm.charge_phase(clock, cfg.threads)
+                            lo, hi = sharded.interval_range(j)
+                            shard = sharded.shards[j]
+                            # --- I/O: vertex values in.
+                            self._submit_wait(
+                                machine, vertex_files[j], "read",
+                                (hi - lo) * cfg.vertex_record_bytes,
+                            )
+                            # --- I/O: memory shard in (one sequential read)
+                            # + the per-load in-memory shard assembly sort.
+                            self._submit_wait(
+                                machine, shard_files[j], "read",
+                                len(shard) * cfg.edge_record_bytes,
+                            )
+                            if len(shard):
+                                cm.charge(
+                                    clock, "graphchi-sort",
+                                    cm.graphchi_sort_per_edge
+                                    * max(1.0, np.log2(len(shard))),
+                                    len(shard), cfg.threads, machine.cores,
+                                )
+                            # --- I/O: sliding windows of the other shards.
+                            window_edges = 0
+                            for k in range(p):
+                                if k == j or windows[k, j] == 0:
+                                    continue
+                                window_edges += int(windows[k, j])
+                                offset = (
+                                    int(window_offsets[k, j])
+                                    * cfg.edge_record_bytes
+                                )
+                                self._submit_wait(
+                                    machine, shard_files[k], "read",
+                                    int(windows[k, j]) * cfg.edge_record_bytes,
+                                    offset=offset,
+                                )
+                            # --- compute: relax interval j's in-edges
+                            # (async semantics).
+                            touched = len(shard) + window_edges
+                            cm.charge(
+                                clock, "graphchi-update", cm.graphchi_per_edge,
+                                touched, cfg.threads, machine.cores,
+                            )
+                            stats.edges_scanned += touched
+                            improved = self._relax(shard, dist, parent, delta)
+                            changed = len(improved)
+                            stats.activated += changed
+                            if changed and cfg.selective_scheduling:
+                                hit = shards_touched(improved.astype(np.int64))
+                                later = hit[hit > j]
+                                earlier = hit[hit <= j]
+                                scheduled[later] = True  # same pass (dynamic)
+                                next_scheduled[earlier] = True
+                            elif changed:
+                                next_scheduled[:] = True
+                            if changed:
+                                # --- I/O: dirty value columns + vertex
+                                # values out.
+                                for k in range(p):
+                                    if k == j or windows[k, j] == 0:
+                                        continue
+                                    offset = (
+                                        int(window_offsets[k, j])
+                                        * cfg.edge_value_bytes
+                                    )
+                                    self._submit_wait(
+                                        machine, shard_files[k], "write",
+                                        int(windows[k, j])
+                                        * cfg.edge_value_bytes,
+                                        offset=offset,
+                                    )
+                                self._submit_wait(
+                                    machine, shard_files[j], "write",
+                                    len(shard) * cfg.edge_value_bytes,
+                                )
+                                self._submit_wait(
+                                    machine, vertex_files[j], "write",
+                                    (hi - lo) * cfg.vertex_record_bytes,
+                                )
+                            iv_span.set(
+                                edges_touched=touched, improved=changed
+                            )
+                    it_span.set(
+                        edges_scanned=stats.edges_scanned,
+                        activated=stats.activated,
+                        partitions_processed=stats.partitions_processed,
+                        partitions_skipped=stats.partitions_skipped,
                     )
-                    self._submit_wait(
-                        machine, vertex_files[j], "write",
-                        (hi - lo) * cfg.vertex_record_bytes,
-                    )
-            scheduled = next_scheduled
-            stats.clock_end = clock.now
-            iteration += 1
+                scheduled = next_scheduled
+                stats.clock_end = clock.now
+                iteration += 1
+            q_span.set(iterations=len(iterations))
 
         if algorithm == "wcc":
             output = {"label": dist.astype(np.uint32)}

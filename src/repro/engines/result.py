@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.counters import CounterRegistry
 from repro.storage.machine import IOReport
 from repro.utils.units import format_bytes, format_seconds
 
@@ -44,6 +45,9 @@ class EngineResult:
     report: IOReport
     iterations: List[IterationStats] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Per-run counter snapshot (repro.obs); attached by the api/harness
+    #: front doors when observability export is requested.
+    metrics: Optional[CounterRegistry] = None
 
     # Convenience accessors for the common BFS case -----------------------
     @property
@@ -122,6 +126,9 @@ class BatchResult:
     staging_report: IOReport
     queries: List[EngineResult] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Batch-wide counter snapshot (repro.obs); per-query registries live
+    #: on each entry of ``queries`` as ``EngineResult.metrics``.
+    metrics: Optional[CounterRegistry] = None
 
     @property
     def num_queries(self) -> int:

@@ -189,14 +189,22 @@ class QuerySession:
 
         engine._rt = rt
         try:
-            engine._before_run(rt)
-            pass_updates = engine._scatter_only_pass(rt)
-            iteration = 0
-            while pass_updates > 0:
-                iteration += 1
-                pass_updates = engine._merged_pass(rt, iteration)
-            engine._after_run(rt)
-            self._cleanup(rt)
+            with machine.tracer.span(
+                "query",
+                engine=engine.name,
+                algorithm=algo.name,
+                graph=staged.graph.name,
+                roots=[int(r) for r in (roots if roots is not None else [root])],
+            ) as q_span:
+                engine._before_run(rt)
+                pass_updates = engine._scatter_only_pass(rt)
+                iteration = 0
+                while pass_updates > 0:
+                    iteration += 1
+                    pass_updates = engine._merged_pass(rt, iteration)
+                engine._after_run(rt)
+                self._cleanup(rt)
+                q_span.set(iterations=len(rt.iterations))
             if sanitizer is not None:
                 sanitizer.finalize_session()
             report = machine.report()

@@ -1,0 +1,49 @@
+"""Structured observability: simulated-clock spans, counters, exporters.
+
+The subsystem has three parts, deliberately decoupled:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer`/:class:`Span`, a nested span
+  tree timed on the :class:`~repro.sim.clock.SimClock` (with a shared
+  no-op :data:`NULL_TRACER` so untraced runs allocate nothing);
+* :mod:`repro.obs.counters` — :class:`CounterRegistry`, labelled counters
+  sampled from the storage layer and reconciled bit-for-bit against
+  :class:`~repro.storage.machine.IOReport`;
+* :mod:`repro.obs.exporters` — JSONL span traces and Prometheus-style
+  text snapshots, both round-trippable.
+
+See docs/observability.md for the span taxonomy and counter catalogue.
+"""
+
+from repro.obs.counters import CounterRegistry, diff_registries, machine_counters
+from repro.obs.exporters import (
+    SPAN_SCHEMA,
+    ExportError,
+    parse_prometheus,
+    parse_spans_jsonl,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    to_prometheus,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceError, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceError",
+    "CounterRegistry",
+    "diff_registries",
+    "machine_counters",
+    "SPAN_SCHEMA",
+    "ExportError",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "parse_spans_jsonl",
+    "read_spans_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+]

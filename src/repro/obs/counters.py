@@ -1,0 +1,275 @@
+"""Labelled counter registry, reconciled against :class:`IOReport`.
+
+The storage substrate already keeps exact byte accounting in two
+independent ledgers — per-kind (``Timeline._bytes_by_kind``, what
+``IOReport.bytes_read``/``bytes_written`` report) and per-role
+(``Timeline._bytes_by_role``, behind ``IOReport.bytes_by_role``).  This
+module gives that accounting a queryable, exportable shape: a
+:class:`CounterRegistry` is a flat map of ``(name, labels)`` to float
+values, filled from the storage layer's own ``counter_samples()`` hooks
+(:meth:`Device.counter_samples`, :meth:`VFS.counter_samples`,
+:meth:`PageCache.counter_samples`) so there is exactly one source of
+truth — the registry never re-counts bytes, it samples the ledgers the
+simulation already maintains.
+
+Because both ledgers feed the same registry, :meth:`reconcile` can check
+them against each other *and* against an :class:`IOReport` bit-for-bit:
+every device's role-sum must equal its kind-sum must equal the report's
+totals.  The differential test suite runs this reconciliation on every
+engine/graph/placement combination it fuzzes.
+
+Counter names (see docs/observability.md):
+
+* ``device_bytes_total{device,kind,role}`` — bytes moved per device, split
+  by request kind (read/write) and stream role (edges/updates/stay/...).
+* ``device_seeks_total{device}`` — non-sequential accesses charged.
+* ``vfs_live_files`` / ``vfs_live_bytes`` — namespace occupancy (gauges).
+* ``pagecache_{hit,miss}_bytes_total``, ``pagecache_resident_bytes``.
+* ``engine_*_total{engine}`` — per-run counters ingested from an
+  :class:`EngineResult` (edges scanned, partitions skipped, stay
+  cancellations, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+CounterKey = Tuple[str, LabelItems]
+
+
+def _key(name: str, labels: Dict[str, object]) -> CounterKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class CounterRegistry:
+    """Flat ``(name, labels) -> value`` store with exact-total queries."""
+
+    def __init__(self) -> None:
+        self._values: Dict[CounterKey, float] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        key = _key(name, labels)
+        self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def set(self, name: str, value: float, **labels: object) -> None:
+        self._values[_key(name, labels)] = float(value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels: object) -> float:
+        return self._values.get(_key(name, labels), 0.0)
+
+    def total(self, name: str, **match: object) -> float:
+        """Sum of every series of ``name`` whose labels include ``match``."""
+        want = {k: str(v) for k, v in match.items()}
+        out = 0.0
+        for (n, labels), value in self._values.items():
+            if n != name:
+                continue
+            label_map = dict(labels)
+            if all(label_map.get(k) == v for k, v in want.items()):
+                out += value
+        return out
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, str], float]]:
+        """(name, labels, value) triples in deterministic (sorted) order."""
+        for (name, labels), value in sorted(self._values.items()):
+            yield name, dict(labels), value
+
+    def as_dict(self) -> Dict[CounterKey, float]:
+        """Copy of the raw mapping (for snapshot-equality assertions)."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterRegistry):
+            return NotImplemented
+        return self._values == other._values
+
+    # ------------------------------------------------------------------
+    # collection from the storage layer
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_machine(cls, machine) -> "CounterRegistry":
+        """Sample every counter source a machine owns.
+
+        Pulls :meth:`Device.counter_samples` for each device (disks and
+        RAM), :meth:`VFS.counter_samples`, and — when a page cache is
+        attached — :meth:`PageCache.counter_samples`.  Sampling is
+        read-only: calling this never perturbs the simulation.
+        """
+        reg = cls()
+        for dev in machine.all_devices():
+            reg._ingest_samples(dev.counter_samples())
+        reg._ingest_samples(machine.vfs.counter_samples())
+        if machine.page_cache is not None:
+            reg._ingest_samples(machine.page_cache.counter_samples())
+        return reg
+
+    @classmethod
+    def from_report(cls, report) -> "CounterRegistry":
+        """Rebuild the device counters recorded in an :class:`IOReport`.
+
+        Per-query reports (deltas produced by ``IOReport.minus``) carry the
+        same per-device, per-role byte accounting as a live machine, so a
+        registry built from one holds that query's counters alone.
+        """
+        reg = cls()
+        for dev in report.devices:
+            for (role, kind), nbytes in dev.bytes_by_role.items():
+                reg.inc(
+                    "device_bytes_total",
+                    nbytes,
+                    device=dev.name,
+                    kind=kind,
+                    role=role,
+                )
+            reg.inc("device_seeks_total", dev.seek_count, device=dev.name)
+        return reg
+
+    def _ingest_samples(self, samples) -> None:
+        for name, labels, value in samples:
+            self.inc(name, value, **labels)
+
+    # ------------------------------------------------------------------
+    # engine-level counters
+    # ------------------------------------------------------------------
+    def ingest_result(self, result) -> "CounterRegistry":
+        """Fold one :class:`EngineResult`'s run counters into the registry."""
+        eng = result.engine
+        self.inc(
+            "engine_iterations_total", float(result.num_iterations), engine=eng
+        )
+        for it in result.iterations:
+            self.inc("engine_edges_scanned_total", it.edges_scanned, engine=eng)
+            self.inc(
+                "engine_updates_generated_total", it.updates_generated, engine=eng
+            )
+            self.inc(
+                "engine_partitions_processed_total",
+                it.partitions_processed,
+                engine=eng,
+            )
+            self.inc(
+                "engine_partitions_skipped_total",
+                it.partitions_skipped,
+                engine=eng,
+            )
+            self.inc(
+                "engine_edges_eliminated_total", it.edges_eliminated, engine=eng
+            )
+        for extra in (
+            "stay_swaps",
+            "stay_cancellations",
+            "stay_records_written",
+            "stay_bytes_written",
+            "stay_end_of_run_discards",
+        ):
+            if extra in result.extras:
+                self.inc(f"engine_{extra}_total", result.extras[extra], engine=eng)
+        return self
+
+    # ------------------------------------------------------------------
+    # reconciliation with IOReport
+    # ------------------------------------------------------------------
+    def reconcile(self, report) -> List[str]:
+        """Cross-check this registry against an :class:`IOReport`.
+
+        Returns a list of human-readable mismatches (empty means the two
+        accountings agree bit-for-bit).  Checks, per device:
+
+        * registry read/write byte sums == ``DeviceReport.bytes_read`` /
+          ``bytes_written`` (role ledger vs kind ledger);
+        * per-(role, kind) registry series == ``DeviceReport.bytes_by_role``;
+        * registry seek count == ``DeviceReport.seek_count``;
+
+        and globally: persistent-device sums == ``report.bytes_read`` /
+        ``bytes_written`` / ``bytes_total``.
+        """
+        problems: List[str] = []
+        disk_read = 0.0
+        disk_written = 0.0
+        for dev in report.devices:
+            got_read = self.total("device_bytes_total", device=dev.name, kind="read")
+            got_written = self.total(
+                "device_bytes_total", device=dev.name, kind="write"
+            )
+            if got_read != float(dev.bytes_read):
+                problems.append(
+                    f"{dev.name}: registry read bytes {got_read:.0f} != "
+                    f"report {dev.bytes_read}"
+                )
+            if got_written != float(dev.bytes_written):
+                problems.append(
+                    f"{dev.name}: registry written bytes {got_written:.0f} != "
+                    f"report {dev.bytes_written}"
+                )
+            for (role, kind), nbytes in dev.bytes_by_role.items():
+                got = self.get(
+                    "device_bytes_total", device=dev.name, kind=kind, role=role
+                )
+                if got != float(nbytes):
+                    problems.append(
+                        f"{dev.name}: role ({role}, {kind}) registry {got:.0f} "
+                        f"!= report {nbytes}"
+                    )
+            seeks = self.get("device_seeks_total", device=dev.name)
+            if seeks != float(dev.seek_count):
+                problems.append(
+                    f"{dev.name}: registry seeks {seeks:.0f} != "
+                    f"report {dev.seek_count}"
+                )
+            if dev.kind != "ram":
+                disk_read += got_read
+                disk_written += got_written
+        if disk_read != float(report.bytes_read):
+            problems.append(
+                f"persistent read total {disk_read:.0f} != "
+                f"report.bytes_read {report.bytes_read}"
+            )
+        if disk_written != float(report.bytes_written):
+            problems.append(
+                f"persistent write total {disk_written:.0f} != "
+                f"report.bytes_written {report.bytes_written}"
+            )
+        if disk_read + disk_written != float(report.bytes_total):
+            problems.append(
+                f"persistent byte total {disk_read + disk_written:.0f} != "
+                f"report.bytes_total {report.bytes_total}"
+            )
+        return problems
+
+
+def diff_registries(
+    before: CounterRegistry, after: CounterRegistry
+) -> Dict[CounterKey, float]:
+    """Per-series ``after - before`` deltas, dropping exact zeros."""
+    keys = set(before.as_dict()) | set(after.as_dict())
+    out: Dict[CounterKey, float] = {}
+    for key in keys:
+        delta = after.as_dict().get(key, 0.0) - before.as_dict().get(key, 0.0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+def machine_counters(machine, result=None) -> CounterRegistry:
+    """Convenience: sample ``machine`` and optionally fold in a result."""
+    reg = CounterRegistry.from_machine(machine)
+    if result is not None:
+        reg.ingest_result(result)
+    return reg
+
+
+__all__ = [
+    "CounterRegistry",
+    "diff_registries",
+    "machine_counters",
+]

@@ -1,0 +1,203 @@
+"""Exporters for traces and counters (JSONL spans, Prometheus text).
+
+Two formats, both plain text, both round-trippable so tests can lock the
+schemas down:
+
+* **JSONL span trace** — one JSON object per line, each a
+  :meth:`Span.to_dict` payload (``span_id``, ``parent_id``, ``name``,
+  ``start``, ``end``, ``attrs``).  Loadable into any trace viewer with a
+  ten-line adapter, and greppable as-is.
+* **Prometheus-style text snapshot** — ``name{label="v",...} value``
+  lines, sorted, with ``# TYPE`` headers.  Values are printed with
+  ``repr`` so ``parse_prometheus(to_prometheus(reg)) == reg`` holds
+  bit-for-bit for every float the simulation can produce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Union
+
+from repro.errors import ReproError
+from repro.obs.counters import CounterRegistry
+from repro.obs.tracer import Span, Tracer
+
+#: Keys every JSONL trace line must carry, in emission order.
+SPAN_SCHEMA = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+
+class ExportError(ReproError):
+    """Raised on malformed trace/metrics payloads."""
+
+
+# ----------------------------------------------------------------------
+# JSONL span traces
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Union[Tracer, Iterable[Span]]) -> str:
+    """Serialize spans (or a whole tracer) to JSONL text."""
+    if isinstance(spans, Tracer):
+        spans = spans.spans
+    lines = [json.dumps(sp.to_dict(), sort_keys=True) for sp in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(spans: Union[Tracer, Iterable[Span]], path: str) -> int:
+    """Write a JSONL trace file; returns the number of spans written."""
+    text = spans_to_jsonl(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def parse_spans_jsonl(text: str) -> List[Span]:
+    """Rebuild :class:`Span` objects from JSONL text (schema-checked)."""
+    out: List[Span] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ExportError(f"trace line {lineno} is not JSON: {exc}") from None
+        missing = [k for k in SPAN_SCHEMA if k not in obj]
+        if missing:
+            raise ExportError(
+                f"trace line {lineno} missing keys {missing} (schema {SPAN_SCHEMA})"
+            )
+        out.append(
+            Span(
+                span_id=int(obj["span_id"]),
+                parent_id=obj["parent_id"],
+                name=str(obj["name"]),
+                start=float(obj["start"]),
+                end=float(obj["end"]),
+                attrs=dict(obj["attrs"]),
+            )
+        )
+    return out
+
+
+def read_spans_jsonl(path: str) -> List[Span]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_spans_jsonl(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text snapshots
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    # repr() round-trips floats exactly; print integral values as ints
+    # for readability (they parse back to the same float).
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: CounterRegistry) -> str:
+    """Render a registry as Prometheus exposition text (sorted, typed)."""
+    lines: List[str] = []
+    last_name = None
+    for name, labels, value in registry.items():
+        if name != last_name:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {name} {kind}")
+            last_name = name
+        if labels:
+            body = ",".join(
+                f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{body}}} {_format_value(value)}")
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: CounterRegistry, path: str) -> int:
+    """Write a metrics snapshot; returns the number of series written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus(registry))
+    return len(registry)
+
+
+def parse_prometheus(text: str) -> CounterRegistry:
+    """Parse exposition text back into a :class:`CounterRegistry`.
+
+    Inverse of :func:`to_prometheus` (``# TYPE``/comment lines are
+    skipped); tolerant of any label ordering within a series.
+    """
+    reg = CounterRegistry()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name, rest = line.split("{", 1)
+                body, tail = rest.rsplit("}", 1)
+                value = float(tail.strip())
+                labels = _parse_labels(body, lineno)
+            else:
+                name, tail = line.rsplit(" ", 1)
+                value = float(tail)
+                labels = {}
+        except (ValueError, ExportError) as exc:
+            raise ExportError(f"metrics line {lineno} malformed: {exc}") from None
+        reg.inc(name.strip(), value, **labels)
+    return reg
+
+
+def _parse_labels(body: str, lineno: int) -> dict:
+    labels: dict = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        eq = body.index("=", i)
+        key = body[i:eq].strip().lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise ExportError(f'label value for {key!r} not quoted (line {lineno})')
+        j = eq + 2
+        raw: List[str] = []
+        while j < n:
+            ch = body[j]
+            if ch == "\\":
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ExportError(f"unterminated label value (line {lineno})")
+        labels[key] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+__all__ = [
+    "SPAN_SCHEMA",
+    "ExportError",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "parse_spans_jsonl",
+    "read_spans_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+]

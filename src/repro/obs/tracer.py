@@ -1,0 +1,267 @@
+"""Structured span tracing on the simulated clock.
+
+The reproduction's whole argument is about *where simulated time goes* —
+scatter streams vs. asynchronous stay flushes vs. update shuffles across
+disks — yet until this subsystem existed only end-of-run totals
+(:class:`~repro.storage.machine.IOReport`) were machine-readable.  A
+:class:`Tracer` records a tree of :class:`Span` objects whose start/end
+times come from the run's :class:`~repro.sim.clock.SimClock`, so a single
+trace answers "which partition's stay flush straddled iteration 3?" the
+way Buluç & Madduri's per-phase timing breakdowns answer it for
+distributed BFS.
+
+Span taxonomy (see docs/observability.md for the full contract):
+
+=============  =====================================================
+name           attrs
+=============  =====================================================
+``stage``      engine, graph, partitions, in_memory, edges
+``query``      engine, algorithm, graph, roots
+``iteration``  iteration, edges_scanned, updates_generated, ...
+``scatter``    partition, edges_streamed, updates_produced
+``gather``     partition, updates_gathered, activated
+``shuffle``    iteration, updates_persisted, update_bytes
+``stay_flush`` partition, iteration, records, bytes  (async span)
+``stay_cancel``partition, iteration, end_of_run      (async span)
+``interval``   partition (GraphChi's PSW unit of work)
+=============  =====================================================
+
+Design rules:
+
+* **No globals.**  The tracer is an explicit handle on
+  :class:`~repro.storage.machine.Machine`; engines reach it as
+  ``machine.tracer``.
+* **No clock interaction.**  A tracer only *reads* ``clock.now``; it never
+  charges compute, submits I/O or waits.  Tracing on vs. off is therefore
+  bit-for-bit identical in simulated timings and byte totals (locked down
+  by ``tests/test_obs.py``).
+* **No-op by default.**  Machines carry :data:`NULL_TRACER` unless one is
+  attached, and the null implementation allocates nothing per span, so the
+  hot path stays clean.
+* **Async spans.**  Stay flushes outlive the iteration that opened them,
+  so they are emitted retroactively (via :meth:`Tracer.emit`) under an
+  explicit parent — the enclosing ``query`` span — rather than the span
+  stack's top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class TraceError(ReproError):
+    """Raised on tracer misuse (unbalanced spans, missing clock)."""
+
+
+@dataclass
+class Span:
+    """One node of the trace tree, timed on the simulated clock."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float = -1.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def finished(self) -> bool:
+        return self.end >= self.start
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (chainable); later calls override earlier."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the JSONL exporter's line schema)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _ActiveSpan:
+    """Context manager tying one :class:`Span` to the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self.span)
+
+
+class Tracer:
+    """Collects spans for one machine's lifetime (append-only).
+
+    Bound to a clock by :meth:`~repro.storage.machine.Machine.attach_tracer`
+    (or explicitly via :meth:`bind_clock`).  ``Machine.restore`` rewinds the
+    clock between query sessions but never truncates the trace: a batch run
+    produces one ``query`` span per session, and simulated time visibly
+    restarting between top-level spans is the recorded signature of the
+    checkpoint/restore protocol.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._clock = None
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock) -> "Tracer":
+        """Attach the simulated clock spans read their times from."""
+        self._clock = clock
+        return self
+
+    def _now(self) -> float:
+        if self._clock is None:
+            raise TraceError(
+                "tracer has no clock; attach it to a Machine "
+                "(machine.attach_tracer(tracer)) before tracing"
+            )
+        return self._clock.now
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a child span of the current stack top (context manager)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(sp)
+        self._stack.append(sp)
+        return _ActiveSpan(self, sp)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise TraceError(
+                f"span {span.name!r} closed out of order (unbalanced nesting)"
+            )
+        self._stack.pop()
+        span.end = self._now()
+
+    def emit(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs: object,
+    ) -> Span:
+        """Record an already-completed span with explicit times.
+
+        The escape hatch for asynchronous work (stay flushes) whose
+        lifetime does not nest inside the span that observed it finishing:
+        the caller supplies the real start/end and an explicit parent
+        (usually the enclosing ``query`` span captured earlier).
+        """
+        if end < start:
+            raise TraceError(f"span {name!r} ends before it starts ({end} < {start})")
+        sp = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(sp)
+        return sp
+
+    # ------------------------------------------------------------------
+    @property
+    def current_id(self) -> Optional[int]:
+        """Span id of the stack top (None outside any span)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, in emission order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span_id: int) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(spans={len(self.spans)}, depth={len(self._stack)})"
+
+
+class _NullActiveSpan:
+    """Shared no-op context manager; ``set`` swallows attributes."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: object) -> "_NullActiveSpan":
+        return self
+
+
+_NULL_SPAN = _NullActiveSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a constant-time no-op.
+
+    One shared instance (:data:`NULL_TRACER`) serves every untraced
+    machine; it never allocates a span, so code can call
+    ``machine.tracer.span(...)`` unconditionally on the hot path.
+    """
+
+    enabled = False
+
+    def bind_clock(self, clock) -> "NullTracer":
+        return self
+
+    def span(self, name: str, **attrs: object) -> _NullActiveSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def emit(self, name, start, end, parent_id=None, **attrs):  # type: ignore[override]
+        return None
+
+    @property
+    def current_id(self) -> Optional[int]:
+        return None
+
+
+#: Process-wide disabled tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()

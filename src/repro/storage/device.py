@@ -173,6 +173,21 @@ class Device:
     # ------------------------------------------------------------------
     # accounting passthroughs
     # ------------------------------------------------------------------
+    def counter_samples(self):
+        """Yield (name, labels, value) samples for the counter registry.
+
+        Sourced from the timeline's per-role ledger — the ledger the
+        per-kind totals (``bytes_read``/``bytes_written``) are reconciled
+        against — plus the seek count, which lives on the device itself.
+        """
+        for (role, kind), nbytes in self.timeline.bytes_by_role().items():
+            yield (
+                "device_bytes_total",
+                {"device": self.name, "kind": kind, "role": role},
+                float(nbytes),
+            )
+        yield "device_seeks_total", {"device": self.name}, float(self._seek_count)
+
     @property
     def bytes_read(self) -> int:
         return self.timeline.bytes_read

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import SimClock
 from repro.storage.device import Device, DeviceSpec
 from repro.storage.vfs import VFS
@@ -211,6 +212,8 @@ class Machine:
         self.vfs = VFS()
         self._disk_specs = list(disks)
         self._sanitize = sanitize
+        #: Span tracer (repro.obs); the shared no-op unless one is attached.
+        self.tracer = NULL_TRACER
         #: Installed runtime checker, if any (see repro.tooling.sanitizer).
         self.sanitizer = None
         if sanitize:
@@ -267,6 +270,25 @@ class Machine:
 
     def all_devices(self) -> List[Device]:
         return [*self.disks, self.ram]
+
+    # ------------------------------------------------------------------
+    # observability (see repro.obs)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> "Machine":
+        """Install a span tracer and bind it to this machine's clock.
+
+        The tracer is the explicit observability handle engines reach as
+        ``machine.tracer`` — there is no global registry.  Pass the shared
+        ``NULL_TRACER`` (or a fresh ``NullTracer``) to detach.
+        """
+        self.tracer = tracer.bind_clock(self.clock)
+        return self
+
+    def counters(self):
+        """Sample every counter source into a fresh ``CounterRegistry``."""
+        from repro.obs.counters import CounterRegistry
+
+        return CounterRegistry.from_machine(self)
 
     # ------------------------------------------------------------------
     # checkpoint / restore (the query-session protocol)

@@ -105,6 +105,12 @@ class PageCache:
         self.miss_bytes = state["miss_bytes"]
 
     # ------------------------------------------------------------------
+    def counter_samples(self):
+        """Yield (name, labels, value) samples for the counter registry."""
+        yield "pagecache_hit_bytes_total", {}, float(self.hit_bytes)
+        yield "pagecache_miss_bytes_total", {}, float(self.miss_bytes)
+        yield "pagecache_resident_bytes", {}, float(self.resident_bytes)
+
     @property
     def resident_bytes(self) -> int:
         return len(self._lru) * self.block_bytes

@@ -108,6 +108,8 @@ class StreamWriter:
         self.file = file
         self.buffer_bytes = buffer_bytes
         self.group = group or f"write:{file.name}"
+        #: Simulated time the writer was opened (span anchoring only).
+        self.opened_at = clock.now
         self._pending: List[np.ndarray] = []
         self._pending_bytes = 0
         self._requests: List[ScheduledRequest] = []

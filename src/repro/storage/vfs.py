@@ -206,6 +206,11 @@ class VFS:
             f.name = name
             f.deleted = False
 
+    def counter_samples(self):
+        """Yield (name, labels, value) occupancy gauges for the registry."""
+        yield "vfs_live_files", {}, float(len(self._files))
+        yield "vfs_live_bytes", {}, float(self.total_bytes())
+
     def names(self) -> List[str]:
         return sorted(self._files)
 

@@ -40,6 +40,14 @@ FB107  runstate-outside-engine
     owned by :class:`~repro.engines.session.QuerySession`; front-ends
     that build or swap it by hand bypass the session protocol (staged
     file protection, sanitizer session scoping, checkpoint discipline).
+FB108  engine-debug-io
+    No ``time`` module import and no ``print(...)`` calls inside
+    ``engines/`` or ``core/``.  Engines run under the simulated clock
+    and report through ``EngineResult``/the tracer; a ``time`` import is
+    a wall-clock leak waiting to happen (FB101 only catches the call
+    sites it knows about), and print-based debugging corrupts the CLI's
+    machine-readable output.  Emit spans or counters instead
+    (``repro.obs``).
 """
 
 from __future__ import annotations
@@ -71,6 +79,7 @@ RULES: Dict[str, str] = {
     "FB105": "mutation of SimClock internals outside sim/clock.py",
     "FB106": "Timeline.schedule call outside Device.submit",
     "FB107": "_RunState construction or ._rt mutation outside engines/core",
+    "FB108": "time-module import or print() call inside engines/core",
 }
 
 
@@ -153,18 +162,20 @@ class _Visitor(ast.NodeVisitor):
             )
         )
 
-    # -- imports (alias tracking for FB101) ----------------------------
+    # -- imports (alias tracking for FB101, time-import ban for FB108) -
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             local = alias.asname or alias.name.split(".")[0]
             if alias.name == "time":
                 self._time_modules.add(local)
+                self._flag_time_import(node)
             elif alias.name in ("datetime", "datetime.datetime"):
                 self._datetime_names.add(local)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "time":
+            self._flag_time_import(node)
             for alias in node.names:
                 if alias.name in _BANNED_TIME_FUNCS:
                     self._banned_names.add(alias.asname or alias.name)
@@ -174,7 +185,17 @@ class _Visitor(ast.NodeVisitor):
                     self._datetime_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
-    # -- FB101 / FB104 / FB106 / FB107 ---------------------------------
+    def _flag_time_import(self, node: ast.AST) -> None:
+        if self.ctx.in_engine_layer:
+            self._flag(
+                node,
+                "FB108",
+                f"time-module import in {self.ctx.subsystem}/ — engines run "
+                "on the simulated clock (SimClock); wall time has no place "
+                "here",
+            )
+
+    # -- FB101 / FB104 / FB106 / FB107 / FB108 -------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if self.ctx.in_sim_layer:
@@ -182,7 +203,19 @@ class _Visitor(ast.NodeVisitor):
         self._check_virtualfile(node, func)
         self._check_timeline_schedule(node, func)
         self._check_runstate_construction(node, func)
+        self._check_print_call(node, func)
         self.generic_visit(node)
+
+    def _check_print_call(self, node: ast.Call, func: ast.expr) -> None:
+        if not self.ctx.in_engine_layer:
+            return
+        if isinstance(func, ast.Name) and func.id == "print":
+            self._flag(
+                node,
+                "FB108",
+                f"print() in {self.ctx.subsystem}/ — engines report through "
+                "EngineResult, spans and counters (repro.obs), never stdout",
+            )
 
     def _check_wallclock(self, node: ast.Call, func: ast.expr) -> None:
         if isinstance(func, ast.Name) and func.id in self._banned_names:

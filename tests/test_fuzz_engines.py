@@ -3,7 +3,10 @@
 Random graphs x random engine configurations: the BFS answer must always
 equal the in-memory reference, no matter how the machine or the engine is
 configured — partitions, buffer sizes, prefetch depth, trimming policy,
-grace, thread counts, disks, memory budgets.
+grace, thread counts, disks, memory budgets.  The batch/session protocol
+is fuzzed too: ``run_many`` answers match the reference per query, and
+``Machine.restore`` rolls every observability counter back to exactly its
+checkpointed value.
 """
 
 import numpy as np
@@ -18,6 +21,7 @@ from repro.engines.base import EngineConfig
 from repro.engines.graphchi import GraphChiConfig, GraphChiEngine
 from repro.engines.xstream import XStreamEngine
 from repro.graph.generators import random_graph
+from repro.obs.counters import CounterRegistry
 from repro.storage.device import DeviceSpec
 from repro.storage.machine import Machine
 from repro.utils.units import KB, MB
@@ -139,3 +143,67 @@ def test_fuzz_trimming_never_changes_bytes_upward_vs_untrimmed(
     )
     assert on.edges_scanned <= off.edges_scanned
     assert np.array_equal(on.levels, off.levels)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    seed=st.integers(min_value=0, max_value=10**6),
+    config=fastbfs_configs,
+    num_disks=st.integers(min_value=1, max_value=2),
+    raw_roots=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_fuzz_run_many_matches_reference_per_query(
+    n, seed, config, num_disks, raw_roots
+):
+    graph = random_graph(n, 4 * n, seed=seed)
+    roots = [r % n for r in raw_roots]
+    machine = machine_for(num_disks, MB)
+    batch = FastBFSEngine(config).run_many(graph, machine, roots=roots)
+    assert batch.num_queries == len(roots)
+    for root, q in zip(roots, batch.queries):
+        assert np.array_equal(q.levels, bfs_levels(graph, root))
+        assert q.report.execution_time >= 0
+    # The cumulative counter sample reconciles with the cumulative report
+    # after any number of checkpoint/restore cycles.
+    assert CounterRegistry.from_machine(machine).reconcile(machine.report()) == []
+
+
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    seed=st.integers(min_value=0, max_value=10**6),
+    config=fastbfs_configs,
+    num_disks=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_fuzz_checkpoint_restore_rewinds_counters_exactly(
+    n, seed, config, num_disks
+):
+    """``Machine.restore`` leaves every counter at its checkpointed value.
+
+    Clock, VFS, devices and page cache are all counter sources, so a
+    registry sampled after restore must equal the one sampled at
+    checkpoint time — and re-running the same query must land on the
+    same counters it produced the first time (the determinism the
+    memoizing harness relies on).
+    """
+    graph = random_graph(n, 4 * n, seed=seed)
+    root = seed % n
+    machine = machine_for(num_disks, MB)
+    eng = FastBFSEngine(config)
+    staged = eng.stage(graph, machine)
+
+    at_checkpoint = CounterRegistry.from_machine(machine)
+    cp = machine.checkpoint()
+
+    first = eng.session(staged).run(root=root)
+    after_query = CounterRegistry.from_machine(machine)
+
+    machine.restore(cp)
+    assert CounterRegistry.from_machine(machine) == at_checkpoint
+
+    second = eng.session(staged).run(root=root)
+    assert np.array_equal(first.levels, second.levels)
+    assert CounterRegistry.from_machine(machine) == after_query

@@ -1,0 +1,337 @@
+"""Observability subsystem tests (repro.obs).
+
+Four contracts are locked down here:
+
+* the **golden JSONL schema** — every trace line carries exactly
+  ``SPAN_SCHEMA`` and round-trips through the parser;
+* **span nesting invariants** — children lie inside their parents in
+  simulated time, and iteration spans cover their scatter/gather/shuffle
+  children;
+* **no-op-tracer equivalence** — a traced run is bit-for-bit identical
+  (levels, simulated timings, per-device byte totals) to an untraced one;
+* **Prometheus round-trip** — ``parse_prometheus(to_prometheus(reg))``
+  reproduces the registry exactly, including escaped labels and floats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import run_bfs, run_queries
+from repro.core.engine import FastBFSEngine
+from repro.engines.xstream import XStreamEngine
+from repro.graph.generators import random_graph
+from repro.obs import (
+    NULL_TRACER,
+    SPAN_SCHEMA,
+    CounterRegistry,
+    NullTracer,
+    Span,
+    TraceError,
+    Tracer,
+    machine_counters,
+    parse_prometheus,
+    parse_spans_jsonl,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    to_prometheus,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.sim.clock import SimClock
+from tests.helpers import fresh_machine, hub_root, small_fastbfs_config
+
+
+def traced_run(graph, config=None, num_disks=2, engine_cls=FastBFSEngine):
+    """One traced out-of-core run; returns (result, machine, tracer)."""
+    machine = fresh_machine(num_disks=num_disks)
+    tracer = Tracer()
+    machine.attach_tracer(tracer)
+    cfg = config if config is not None else small_fastbfs_config()
+    result = engine_cls(cfg).run(graph, machine, root=hub_root(graph))
+    return result, machine, tracer
+
+
+@pytest.fixture(scope="module")
+def traced():
+    graph = random_graph(600, 5000, seed=21)
+    return traced_run(graph)
+
+
+# ----------------------------------------------------------------------
+# Tracer unit behaviour
+# ----------------------------------------------------------------------
+class TestTracer:
+    def make(self):
+        clock = SimClock()
+        return clock, Tracer().bind_clock(clock)
+
+    def test_nested_spans_record_parent_and_times(self):
+        clock, tracer = self.make()
+        with tracer.span("outer") as outer:
+            clock.charge_compute(1.0)
+            with tracer.span("inner", k=1) as inner:
+                clock.charge_compute(0.5)
+        assert outer.span_id == 1 and inner.parent_id == 1
+        assert outer.start == 0.0 and inner.start == 1.0
+        assert inner.end == 1.5 and outer.end == 1.5
+        assert inner.attrs == {"k": 1}
+        assert tracer.depth == 0
+
+    def test_unbound_tracer_raises(self):
+        with pytest.raises(TraceError):
+            Tracer().span("x")
+
+    def test_out_of_order_close_raises(self):
+        _, tracer = self.make()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__(), inner.__enter__()
+        with pytest.raises(TraceError):
+            outer.__exit__(None, None, None)
+
+    def test_emit_rejects_negative_duration(self):
+        _, tracer = self.make()
+        with pytest.raises(TraceError):
+            tracer.emit("bad", start=2.0, end=1.0)
+
+    def test_emit_records_completed_span_under_explicit_parent(self):
+        clock, tracer = self.make()
+        with tracer.span("query"):
+            anchor = tracer.current_id
+            clock.charge_compute(3.0)
+        sp = tracer.emit("stay_flush", start=0.5, end=2.5, parent_id=anchor, p=3)
+        assert sp.parent_id == anchor and sp.finished
+        assert tracer.children_of(anchor) == [sp]
+
+    def test_null_tracer_is_a_shared_noop(self):
+        null = NullTracer()
+        assert not null.enabled and not NULL_TRACER.enabled
+        ctx = null.span("anything", k=1)
+        with ctx as sp:
+            assert sp.set(a=2) is sp
+        assert null.emit("x", 0.0, 1.0) is None
+        assert null.current_id is None
+        assert len(null) == 0
+        assert null.span("a") is NULL_TRACER.span("b")  # no per-span alloc
+
+
+# ----------------------------------------------------------------------
+# Golden JSONL schema
+# ----------------------------------------------------------------------
+class TestJsonlGoldenSchema:
+    def test_every_line_carries_exactly_the_schema(self, traced, tmp_path):
+        _, _, tracer = traced
+        path = tmp_path / "trace.jsonl"
+        count = write_spans_jsonl(tracer, str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer.spans) > 0
+        for line in lines:
+            obj = json.loads(line)
+            assert set(obj) == set(SPAN_SCHEMA)
+            assert isinstance(obj["span_id"], int)
+            assert obj["parent_id"] is None or isinstance(obj["parent_id"], int)
+            assert isinstance(obj["name"], str)
+            assert isinstance(obj["attrs"], dict)
+            assert float(obj["end"]) >= float(obj["start"]) >= 0.0
+
+    def test_round_trip_preserves_every_span(self, traced, tmp_path):
+        _, _, tracer = traced
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(tracer, str(path))
+        back = read_spans_jsonl(str(path))
+        assert [s.to_dict() for s in back] == [s.to_dict() for s in tracer.spans]
+
+    def test_parse_rejects_missing_keys(self):
+        line = json.dumps({"span_id": 1, "name": "x"})
+        with pytest.raises(Exception):
+            parse_spans_jsonl(line + "\n")
+
+    def test_spans_to_jsonl_accepts_plain_span_lists(self):
+        spans = [Span(span_id=1, parent_id=None, name="a", start=0.0, end=1.0)]
+        assert parse_spans_jsonl(spans_to_jsonl(spans))[0].to_dict() == spans[0].to_dict()
+
+
+# ----------------------------------------------------------------------
+# Span nesting invariants
+# ----------------------------------------------------------------------
+class TestSpanNesting:
+    def test_all_spans_finished(self, traced):
+        _, _, tracer = traced
+        assert all(s.finished for s in tracer.spans)
+
+    def test_children_lie_inside_their_parents(self, traced):
+        _, _, tracer = traced
+        by_id = {s.span_id: s for s in tracer.spans}
+        for s in tracer.spans:
+            if s.parent_id is None:
+                continue
+            parent = by_id[s.parent_id]
+            assert parent.span_id < s.span_id
+            assert parent.start <= s.start, (parent.name, s.name)
+            assert s.end <= parent.end, (parent.name, s.name)
+
+    def test_expected_taxonomy_present(self, traced):
+        _, _, tracer = traced
+        names = {s.name for s in tracer.spans}
+        assert {"stage", "query", "iteration", "scatter", "gather",
+                "shuffle"} <= names
+
+    def test_iteration_spans_cover_scatter_and_gather(self, traced):
+        _, _, tracer = traced
+        by_id = {s.span_id: s for s in tracer.spans}
+        phase_spans = [s for s in tracer.spans
+                       if s.name in ("scatter", "gather", "shuffle")]
+        assert phase_spans
+        for s in phase_spans:
+            parent = by_id[s.parent_id]
+            assert parent.name == "iteration"
+            assert parent.start <= s.start and s.end <= parent.end
+
+    def test_iterations_nest_in_the_query_span(self, traced):
+        _, _, tracer = traced
+        (query,) = tracer.find("query")
+        for it in tracer.find("iteration"):
+            assert it.parent_id == query.span_id
+        assert query.attrs["iterations"] == len(tracer.find("iteration"))
+
+    def test_stay_spans_anchor_to_the_query_and_match_stats(self):
+        graph = random_graph(500, 4000, seed=5)
+        result, _, tracer = traced_run(
+            graph, small_fastbfs_config(trim_start_iteration=0,
+                                        cancellation_grace=0.002),
+        )
+        (query,) = tracer.find("query")
+        flushes = tracer.find("stay_flush")
+        cancels = tracer.find("stay_cancel")
+        assert len(flushes) == int(result.extras["stay_swaps"])
+        assert len(cancels) == (
+            int(result.extras["stay_cancellations"])
+            + int(result.extras["stay_end_of_run_discards"])
+        )
+        for s in flushes + cancels:
+            assert s.parent_id == query.span_id
+            assert query.start <= s.start and s.end <= query.end
+
+    def test_batch_records_one_query_span_per_root(self):
+        graph = random_graph(300, 2000, seed=8)
+        machine = fresh_machine(num_disks=1)
+        tracer = Tracer()
+        machine.attach_tracer(tracer)
+        FastBFSEngine(small_fastbfs_config()).run_many(
+            graph, machine, roots=[0, 7, 19]
+        )
+        assert len(tracer.find("query")) == 3
+        assert len(tracer.find("stage")) == 1
+
+
+# ----------------------------------------------------------------------
+# No-op-tracer equivalence (tracing is free in simulated time)
+# ----------------------------------------------------------------------
+class TestNoopEquivalence:
+    @pytest.mark.parametrize("engine_cls", [FastBFSEngine, XStreamEngine])
+    def test_traced_equals_untraced_bit_for_bit(self, engine_cls):
+        graph = random_graph(700, 6000, seed=33)
+        cfg = (small_fastbfs_config() if engine_cls is FastBFSEngine
+               else small_fastbfs_config())
+        root = hub_root(graph)
+
+        plain_machine = fresh_machine(num_disks=2)
+        plain = engine_cls(cfg).run(graph, plain_machine, root=root)
+
+        traced_machine = fresh_machine(num_disks=2)
+        tracer = Tracer()
+        traced_machine.attach_tracer(tracer)
+        traced = engine_cls(cfg).run(graph, traced_machine, root=root)
+
+        assert len(tracer.spans) > 0
+        assert np.array_equal(plain.levels, traced.levels)
+        assert plain.report.execution_time == traced.report.execution_time
+        assert plain.report.compute_time == traced.report.compute_time
+        assert plain.report.iowait_time == traced.report.iowait_time
+        for d_plain, d_traced in zip(plain.report.devices,
+                                     traced.report.devices):
+            assert d_plain.bytes_read == d_traced.bytes_read
+            assert d_plain.bytes_written == d_traced.bytes_written
+            assert d_plain.seek_count == d_traced.seek_count
+            assert d_plain.bytes_by_role == d_traced.bytes_by_role
+
+    def test_untraced_machine_defaults_to_the_shared_null_tracer(self):
+        machine = fresh_machine()
+        assert machine.tracer is NULL_TRACER
+
+
+# ----------------------------------------------------------------------
+# Prometheus snapshot round-trip
+# ----------------------------------------------------------------------
+class TestPrometheusRoundTrip:
+    def test_real_run_round_trips_exactly(self, traced, tmp_path):
+        result, machine, _ = traced
+        registry = machine_counters(machine, result)
+        assert len(registry) > 0
+        assert parse_prometheus(to_prometheus(registry)) == registry
+
+    def test_write_read_file(self, traced, tmp_path):
+        _, machine, _ = traced
+        registry = machine_counters(machine)
+        path = tmp_path / "metrics.prom"
+        assert write_prometheus(registry, str(path)) == len(registry)
+        assert parse_prometheus(path.read_text()) == registry
+
+    def test_labels_with_escapes_round_trip(self):
+        reg = CounterRegistry()
+        reg.inc("weird_total", 1.5, path='a"b\\c', note="line\nbreak")
+        reg.set("plain_gauge", 7.0)
+        assert parse_prometheus(to_prometheus(reg)) == reg
+
+    def test_awkward_floats_round_trip(self):
+        reg = CounterRegistry()
+        reg.set("tiny", 0.1 + 0.2)                 # 0.30000000000000004
+        reg.set("huge_total", 2.0**53 + 2.0)
+        reg.set("negative", -3.75)
+        assert parse_prometheus(to_prometheus(reg)) == reg
+
+    def test_type_headers(self):
+        reg = CounterRegistry()
+        reg.inc("x_total", 2, device="d0")
+        reg.set("y_resident", 4.0)
+        text = to_prometheus(reg)
+        assert "# TYPE x_total counter" in text
+        assert "# TYPE y_resident gauge" in text
+        assert 'x_total{device="d0"} 2' in text  # integral values print as ints
+
+
+# ----------------------------------------------------------------------
+# Front-door wiring (api.run_bfs / run_queries)
+# ----------------------------------------------------------------------
+class TestApiSurface:
+    def test_run_bfs_exports_and_attaches(self, tmp_path):
+        graph = random_graph(300, 2000, seed=2)
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        result = run_bfs(graph, "fastbfs", trace_path=str(trace),
+                         metrics_path=str(metrics))
+        assert result.metrics is not None
+        assert result.metrics.reconcile(result.report) == []
+        assert len(read_spans_jsonl(str(trace))) > 0
+        assert parse_prometheus(metrics.read_text()) == result.metrics
+
+    def test_run_queries_attaches_per_query_registries(self, tmp_path):
+        graph = random_graph(300, 2400, seed=4)
+        batch = run_queries(graph, roots=[1, 5], engine="fastbfs",
+                            trace_path=str(tmp_path / "b.jsonl"))
+        assert batch.metrics is not None
+        for q in batch.queries:
+            assert q.metrics is not None
+            assert q.metrics.reconcile(q.report) == []
+
+    def test_no_export_requested_leaves_metrics_unset(self):
+        graph = random_graph(200, 1200, seed=6)
+        machine = fresh_machine()
+        result = FastBFSEngine(small_fastbfs_config()).run(
+            graph, machine, root=0
+        )
+        assert result.metrics is None

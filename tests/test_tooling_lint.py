@@ -23,7 +23,7 @@ class TestWallclockRule:
 
     def test_perf_counter_from_import_flagged(self):
         src = "from time import perf_counter\nt = perf_counter()\n"
-        assert codes(lint_source(src, CORE_PATH)) == ["FB101"]
+        assert codes(lint_source(src, SIM_PATH)) == ["FB101"]
 
     def test_aliased_import_flagged(self):
         src = "from time import monotonic as mono\nt = mono()\n"
@@ -164,6 +164,43 @@ class TestRunStateRule:
         assert lint_source(src, OTHER_PATH) == []
 
 
+class TestEngineDebugIORule:
+    ENGINES_PATH = "src/repro/engines/fake.py"
+
+    def test_time_import_flagged_in_engines(self):
+        out = lint_source("import time\n", self.ENGINES_PATH)
+        assert codes(out) == ["FB108"]
+
+    def test_time_import_flagged_in_core(self):
+        # core/ sits in both the sim and the engine layer: the import
+        # itself is FB108, and the wall-clock call on top of it is FB101.
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert codes(lint_source(src, CORE_PATH)) == ["FB108", "FB101"]
+
+    def test_print_flagged_in_engines(self):
+        src = "def f(x):\n    print(x)\n    return x\n"
+        out = lint_source(src, "src/repro/engines/graphchi/fake.py")
+        assert codes(out) == ["FB108"]
+        assert out[0].line == 2
+
+    def test_print_flagged_in_core(self):
+        assert codes(lint_source("print('dbg')\n", CORE_PATH)) == ["FB108"]
+
+    def test_allowed_outside_engine_layer(self):
+        assert lint_source("import time\nprint(time.asctime())\n", OTHER_PATH) == []
+
+    def test_storage_layer_print_allowed(self):
+        # FB108 scopes engines/core only; storage is covered by FB101.
+        assert lint_source("print('x')\n", STORAGE_PATH) == []
+
+    def test_method_named_print_clean(self):
+        src = "logger.print('x')\n"
+        assert lint_source(src, self.ENGINES_PATH) == []
+
+    def test_noqa_suppresses(self):
+        assert lint_source("import time  # noqa: FB108\n", CORE_PATH) == []
+
+
 class TestSuppression:
     def test_blanket_noqa(self):
         src = "import time\nt = time.time()  # noqa\n"
@@ -190,6 +227,7 @@ class TestHarness:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {
             "FB101", "FB102", "FB103", "FB104", "FB105", "FB106", "FB107",
+            "FB108",
         }
 
     def test_repo_source_tree_is_clean(self):
