@@ -26,7 +26,7 @@ from repro.algorithms import (
     teps,
     validate_bfs_result,
 )
-from repro.api import make_engine, run_bfs
+from repro.api import make_engine, profile_trace, run_bfs
 from repro.core import FastBFSConfig, FastBFSEngine
 from repro.engines import (
     EngineConfig,
@@ -79,6 +79,7 @@ __all__ = [
     "EngineResult",
     "make_engine",
     "run_bfs",
+    "profile_trace",
     # algorithms
     "BFSAlgorithm",
     "WCCAlgorithm",

@@ -112,6 +112,9 @@ class ExperimentRunner:
         self._graphs: Dict[str, Graph] = {}
         self._roots: Dict[str, int] = {}
         self._runs: Dict[Tuple, EngineResult] = {}
+        # Traced-run memo: key -> (result, machine, tracer), kept separate
+        # from _runs so untraced benches never pay span allocation.
+        self._traced_runs: Dict[Tuple, Tuple] = {}
         # Staged-artifact memo: key -> (engine, staged, post-staging
         # checkpoint).  Lets query-level benches traverse the same staged
         # graph repeatedly without re-splitting the edge list.
@@ -189,6 +192,45 @@ class ExperimentRunner:
             eng = self._engine(engine, threads, config_overrides)
             self._runs[key] = eng.run(graph, machine, root=self.root(dataset))
         return self._runs[key]
+
+    def run_traced(
+        self,
+        dataset: str,
+        engine: str,
+        disk_kind: str = "hdd",
+        num_disks: int = 1,
+        memory: Optional[str] = None,
+        threads: int = 4,
+        **config_overrides,
+    ) -> Tuple[EngineResult, object, object]:
+        """Like :meth:`run`, but with a span tracer attached.
+
+        Returns ``(result, machine, tracer)`` so callers can profile the
+        trace and reconcile counters against the machine's report.
+        Memoized separately from :meth:`run` (tracing on vs. off is
+        bit-for-bit identical in timings, but the memo keeps each world's
+        objects intact).
+        """
+        from repro.obs.tracer import Tracer  # local: keep obs optional here
+
+        key = (
+            dataset,
+            engine,
+            disk_kind,
+            num_disks,
+            memory or self.memory,
+            threads,
+            tuple(sorted(config_overrides.items())),
+        )
+        if key not in self._traced_runs:
+            graph = self.graph(dataset)
+            machine = self.machine(disk_kind, num_disks, memory)
+            tracer = Tracer()
+            machine.attach_tracer(tracer)
+            eng = self._engine(engine, threads, config_overrides)
+            result = eng.run(graph, machine, root=self.root(dataset))
+            self._traced_runs[key] = (result, machine, tracer)
+        return self._traced_runs[key]
 
     def run_query(
         self,

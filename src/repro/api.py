@@ -21,10 +21,12 @@ from repro.errors import ConfigError
 from repro.graph.graph import Graph
 from repro.obs import (
     CounterRegistry,
+    TraceProfile,
     Tracer,
     write_prometheus,
     write_spans_jsonl,
 )
+from repro.obs import profile_trace as _profile_trace
 from repro.storage.machine import Machine
 
 ENGINES = ("fastbfs", "x-stream", "graphchi")
@@ -81,11 +83,30 @@ def export_observability(
             registry.ingest_result(q)
     else:
         registry.ingest_result(result)
+    if machine.tracer.enabled:
+        registry.ingest_spans(machine.tracer)
     result.metrics = registry
     if trace_path is not None:
         write_spans_jsonl(machine.tracer, trace_path)
     if metrics_path is not None:
         write_prometheus(registry, metrics_path)
+
+
+def profile_trace(
+    source,
+    registry: Optional[CounterRegistry] = None,
+    report=None,
+) -> TraceProfile:
+    """Analyze a span trace into a :class:`~repro.obs.TraceProfile`.
+
+    ``source`` is a JSONL trace path (as written by ``run_bfs(...,
+    trace_path=...)``), a :class:`~repro.obs.Tracer`, a machine with a
+    tracer attached, or an iterable of spans.  Supplying the run's
+    ``registry`` (``result.metrics``) joins per-device I/O attribution
+    into the report; supplying its ``report`` additionally enables exact
+    reconciliation against the :class:`~repro.storage.machine.IOReport`.
+    """
+    return _profile_trace(source, registry=registry, report=report)
 
 
 def run_bfs(

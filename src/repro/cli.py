@@ -10,7 +10,12 @@ Subcommands:
   printing per-query and staging-amortized timings;
 * ``compare`` — run all three engines on one input and print the
   paper-style comparison (time / input data / iowait / speedups);
-* ``profile`` — print the per-level convergence profile (Fig. 1 data);
+* ``profile`` — analyze a span-trace JSONL file (stage breakdowns, stay
+  overlap) or, with ``--graph``/``--dataset``, print the per-level
+  convergence profile (Fig. 1 data);
+* ``bench`` — collect a ``BENCH_<seq>.json`` benchmark snapshot
+  (``bench run``) or diff the two newest under the tolerance policy
+  (``bench compare``, nonzero exit on regression);
 * ``datasets`` — list the Table II registry.
 """
 
@@ -103,9 +108,37 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--root", type=int, default=None)
     _add_machine_args(cmp_)
 
-    prof = sub.add_parser("profile", help="print the BFS convergence profile")
-    _add_input_args(prof)
+    prof = sub.add_parser(
+        "profile",
+        help="analyze a span trace (or print the BFS convergence profile)",
+    )
+    prof.add_argument(
+        "trace", nargs="?", default=None,
+        help="span-trace JSONL (e.g. from 'run --trace'); omit to profile "
+             "convergence of --graph/--dataset instead",
+    )
+    prof.add_argument("--width", type=int, default=100,
+                      help="trace report width (columns)")
+    _add_input_args(prof, required=False)
     prof.add_argument("--root", type=int, default=None)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark snapshots (BENCH_<seq>.json) and the regression gate",
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    brun = bsub.add_parser("run", help="collect a new snapshot file")
+    brun.add_argument("--dir", default=".", dest="bench_dir",
+                      help="directory holding BENCH_*.json (default: .)")
+    brun.add_argument("--scale-divisor", type=int, default=None,
+                      help="scale divisor (default: REPRO_SCALE_DIVISOR)")
+    brun.add_argument("--seed", type=int, default=1)
+    bcmp = bsub.add_parser(
+        "compare",
+        help="diff the two newest snapshots; exit 1 on regression",
+    )
+    bcmp.add_argument("--dir", default=".", dest="bench_dir",
+                      help="directory holding BENCH_*.json (default: .)")
 
     sub.add_parser("datasets", help="list the Table II dataset registry")
 
@@ -142,8 +175,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_input_args(p: argparse.ArgumentParser) -> None:
-    group = p.add_mutually_exclusive_group(required=True)
+def _add_input_args(p: argparse.ArgumentParser, required: bool = True) -> None:
+    group = p.add_mutually_exclusive_group(required=required)
     group.add_argument("--graph", help="path to a binary edge-list file")
     group.add_argument("--dataset", choices=sorted(DATASETS),
                        help="Table II dataset stand-in")
@@ -390,6 +423,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        from repro.api import profile_trace
+
+        prof = profile_trace(args.trace)
+        print(prof.report_text(width=args.width))
+        return 0
+    if args.graph is None and args.dataset is None:
+        print(
+            "error: give a span-trace JSONL path, or --graph/--dataset for "
+            "the convergence profile",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_input(args)
     root = _root(args, graph)
     prof = level_profile(graph, root)
@@ -416,6 +462,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     print(f"\nedge scans saved by trimming: {saved:.1%}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        collect_snapshot,
+        compare_latest,
+        snapshot_files,
+        write_snapshot,
+    )
+
+    if args.bench_command == "run":
+        snapshot = collect_snapshot(divisor=args.scale_divisor, seed=args.seed)
+        path = write_snapshot(snapshot, root=args.bench_dir)
+        scenarios = snapshot["scenarios"]
+        print(f"wrote {path} ({len(scenarios)} scenarios, "
+              f"divisor {snapshot['divisor']})")
+        for name in sorted(scenarios):
+            doc = scenarios[name]
+            print(f"  {name}: {format_seconds(doc['execution_time'])}, "
+                  f"{format_bytes(doc['total_bytes'])} total I/O, "
+                  f"{doc['iterations']} iterations")
+        return 0
+    files = snapshot_files(args.bench_dir)
+    if len(files) < 2:
+        print(
+            f"bench compare: found {len(files)} snapshot(s) in "
+            f"{args.bench_dir!r}; nothing to compare",
+            file=sys.stderr,
+        )
+        return 2
+    comparison = compare_latest(args.bench_dir)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
 
 
 def cmd_datasets(_args: argparse.Namespace) -> int:
@@ -503,6 +582,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": cmd_batch,
         "compare": cmd_compare,
         "profile": cmd_profile,
+        "bench": cmd_bench,
         "datasets": cmd_datasets,
         "gantt": cmd_gantt,
         "shapes": cmd_shapes,

@@ -9,12 +9,22 @@ The subsystem has three parts, deliberately decoupled:
   sampled from the storage layer and reconciled bit-for-bit against
   :class:`~repro.storage.machine.IOReport`;
 * :mod:`repro.obs.exporters` — JSONL span traces and Prometheus-style
-  text snapshots, both round-trippable.
+  text snapshots, both round-trippable;
+* :mod:`repro.obs.profile` — trace analysis (per-iteration stage
+  breakdowns, stay-write overlap, per-device I/O attribution);
+* :mod:`repro.obs.bench` — benchmark snapshots and the regression gate.
 
-See docs/observability.md for the span taxonomy and counter catalogue.
+See docs/observability.md for the span taxonomy and counter catalogue,
+and docs/profiling.md for the profile report and snapshot schema.
 """
 
-from repro.obs.counters import CounterRegistry, diff_registries, machine_counters
+from repro.obs.counters import (
+    DEFAULT_DURATION_BUCKETS,
+    CounterRegistry,
+    Histogram,
+    diff_registries,
+    machine_counters,
+)
 from repro.obs.exporters import (
     SPAN_SCHEMA,
     ExportError,
@@ -26,6 +36,13 @@ from repro.obs.exporters import (
     write_prometheus,
     write_spans_jsonl,
 )
+from repro.obs.profile import (
+    ProfileError,
+    QueryProfile,
+    TraceProfile,
+    load_spans,
+    profile_trace,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceError, Tracer
 
 __all__ = [
@@ -35,6 +52,8 @@ __all__ = [
     "Span",
     "TraceError",
     "CounterRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+    "Histogram",
     "diff_registries",
     "machine_counters",
     "SPAN_SCHEMA",
@@ -46,4 +65,9 @@ __all__ = [
     "to_prometheus",
     "write_prometheus",
     "parse_prometheus",
+    "ProfileError",
+    "QueryProfile",
+    "TraceProfile",
+    "load_spans",
+    "profile_trace",
 ]

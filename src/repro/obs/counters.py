@@ -28,18 +28,80 @@ Counter names (see docs/observability.md):
 * ``engine_*_total{engine}`` — per-run counters ingested from an
   :class:`EngineResult` (edges scanned, partitions skipped, stay
   cancellations, ...).
+* ``span_duration_seconds{stage}`` — **histograms** of span durations per
+  span name, filled by :meth:`CounterRegistry.ingest_spans` from a trace.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 LabelItems = Tuple[Tuple[str, str], ...]
 CounterKey = Tuple[str, LabelItems]
 
+#: Default bucket upper bounds for span-duration histograms (simulated
+#: seconds); +Inf is implicit.  Spans range from sub-millisecond scatter
+#: chunks at reduced scale to multi-minute paper-scale queries.
+DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0
+)
+
 
 def _key(name: str, labels: Dict[str, object]) -> CounterKey:
     return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per bucket plus sum and count.
+
+    ``buckets`` are the finite upper bounds in increasing order; an
+    implicit +Inf bucket catches the overflow.  ``counts`` are
+    *non-cumulative* per-bucket observation counts (length
+    ``len(buckets) + 1``); the Prometheus exporter renders the cumulative
+    ``le`` form and the parser reverses it.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.buckets = bounds
+        self.counts = [0.0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, float(value))] += 1.0
+        self.sum += float(value)
+        self.count += 1.0
+
+    def cumulative(self) -> List[Tuple[float, float]]:
+        """(upper bound, cumulative count) pairs, ending with (+Inf, count)."""
+        out: List[Tuple[float, float]] = []
+        running = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.counts == other.counts
+            and self.sum == other.sum
+            and self.count == other.count
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count:.0f}, sum={self.sum})"
 
 
 class CounterRegistry:
@@ -47,6 +109,7 @@ class CounterRegistry:
 
     def __init__(self) -> None:
         self._values: Dict[CounterKey, float] = {}
+        self._histograms: Dict[CounterKey, Histogram] = {}
 
     # ------------------------------------------------------------------
     # mutation
@@ -57,6 +120,36 @@ class CounterRegistry:
 
     def set(self, name: str, value: float, **labels: object) -> None:
         self._values[_key(name, labels)] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS,
+        **labels: object,
+    ) -> None:
+        """Record one observation into the named histogram series.
+
+        The first observation of a series fixes its bucket bounds;
+        ``buckets`` on later calls must match (histograms with different
+        bounds are different metrics — rename one).
+        """
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(buckets)
+        elif hist.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name}{dict(key[1])} already has buckets "
+                f"{hist.buckets}; pass matching bounds"
+            )
+        hist.observe(value)
+
+    def add_histogram(
+        self, name: str, hist: Histogram, **labels: object
+    ) -> None:
+        """Install a fully-built histogram series (parser plumbing)."""
+        self._histograms[_key(name, labels)] = hist
 
     # ------------------------------------------------------------------
     # queries
@@ -81,17 +174,30 @@ class CounterRegistry:
         for (name, labels), value in sorted(self._values.items()):
             yield name, dict(labels), value
 
+    def histogram(self, name: str, **labels: object) -> Optional[Histogram]:
+        return self._histograms.get(_key(name, labels))
+
+    def histograms(self) -> Iterator[Tuple[str, Dict[str, str], Histogram]]:
+        """(name, labels, histogram) triples in deterministic order."""
+        for (name, labels), hist in sorted(
+            self._histograms.items(), key=lambda kv: kv[0]
+        ):
+            yield name, dict(labels), hist
+
     def as_dict(self) -> Dict[CounterKey, float]:
-        """Copy of the raw mapping (for snapshot-equality assertions)."""
+        """Copy of the raw scalar mapping (for snapshot-equality assertions)."""
         return dict(self._values)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._values) + len(self._histograms)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CounterRegistry):
             return NotImplemented
-        return self._values == other._values
+        return (
+            self._values == other._values
+            and self._histograms == other._histograms
+        )
 
     # ------------------------------------------------------------------
     # collection from the storage layer
@@ -174,6 +280,27 @@ class CounterRegistry:
         ):
             if extra in result.extras:
                 self.inc(f"engine_{extra}_total", result.extras[extra], engine=eng)
+        return self
+
+    # ------------------------------------------------------------------
+    # span-duration histograms
+    # ------------------------------------------------------------------
+    def ingest_spans(
+        self,
+        spans,
+        name: str = "span_duration_seconds",
+        buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS,
+    ) -> "CounterRegistry":
+        """Fold a span trace into per-stage duration histograms.
+
+        ``spans`` is a :class:`~repro.obs.tracer.Tracer` or an iterable of
+        :class:`~repro.obs.tracer.Span`; each finished span contributes one
+        observation to the ``{stage=<span name>}`` series.
+        """
+        spans = getattr(spans, "spans", spans)
+        for sp in spans:
+            if sp.finished:
+                self.observe(name, sp.duration, buckets=buckets, stage=sp.name)
         return self
 
     # ------------------------------------------------------------------
@@ -270,6 +397,8 @@ def machine_counters(machine, result=None) -> CounterRegistry:
 
 __all__ = [
     "CounterRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+    "Histogram",
     "diff_registries",
     "machine_counters",
 ]

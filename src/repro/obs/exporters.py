@@ -16,10 +16,11 @@ schemas down:
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Union
+import math
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.errors import ReproError
-from repro.obs.counters import CounterRegistry
+from repro.obs.counters import CounterRegistry, Histogram
 from repro.obs.tracer import Span, Tracer
 
 #: Keys every JSONL trace line must carry, in emission order.
@@ -104,13 +105,30 @@ def _unescape_label(value: str) -> str:
 def _format_value(value: float) -> str:
     # repr() round-trips floats exactly; print integral values as ints
     # for readability (they parse back to the same float).
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 2**53:
         return str(int(value))
     return repr(value)
 
 
+def _series_line(name: str, labels: dict, value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
 def to_prometheus(registry: CounterRegistry) -> str:
-    """Render a registry as Prometheus exposition text (sorted, typed)."""
+    """Render a registry as Prometheus exposition text (sorted, typed).
+
+    Scalar series come first (``counter`` iff the name ends in ``_total``,
+    else ``gauge``), then histogram families: cumulative
+    ``<name>_bucket{le="..."}`` lines plus ``<name>_sum``/``<name>_count``
+    under a ``# TYPE <name> histogram`` header.
+    """
     lines: List[str] = []
     last_name = None
     for name, labels, value in registry.items():
@@ -118,13 +136,18 @@ def to_prometheus(registry: CounterRegistry) -> str:
             kind = "counter" if name.endswith("_total") else "gauge"
             lines.append(f"# TYPE {name} {kind}")
             last_name = name
-        if labels:
-            body = ",".join(
-                f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
-            )
-            lines.append(f"{name}{{{body}}} {_format_value(value)}")
-        else:
-            lines.append(f"{name} {_format_value(value)}")
+        lines.append(_series_line(name, labels, value))
+    last_name = None
+    for name, labels, hist in registry.histograms():
+        if name != last_name:
+            lines.append(f"# TYPE {name} histogram")
+            last_name = name
+        for bound, cum in hist.cumulative():
+            le_labels = dict(labels)
+            le_labels["le"] = _format_value(bound)
+            lines.append(_series_line(f"{name}_bucket", le_labels, cum))
+        lines.append(_series_line(f"{name}_sum", labels, hist.sum))
+        lines.append(_series_line(f"{name}_count", labels, hist.count))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -138,13 +161,23 @@ def write_prometheus(registry: CounterRegistry, path: str) -> int:
 def parse_prometheus(text: str) -> CounterRegistry:
     """Parse exposition text back into a :class:`CounterRegistry`.
 
-    Inverse of :func:`to_prometheus` (``# TYPE``/comment lines are
-    skipped); tolerant of any label ordering within a series.
+    Inverse of :func:`to_prometheus`; tolerant of any label ordering
+    within a series.  Families declared ``# TYPE <name> histogram`` are
+    reassembled from their ``_bucket``/``_sum``/``_count`` lines back into
+    :class:`Histogram` series (so the round-trip is exact); all other
+    ``# TYPE``/comment lines are skipped.
     """
     reg = CounterRegistry()
+    hist_names: set = set()
+    partial: Dict[Tuple[str, tuple], Dict[str, object]] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
-        if not line or line.startswith("#"):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE" and parts[3] == "histogram":
+                hist_names.add(parts[2])
             continue
         try:
             if "{" in line:
@@ -158,8 +191,59 @@ def parse_prometheus(text: str) -> CounterRegistry:
                 labels = {}
         except (ValueError, ExportError) as exc:
             raise ExportError(f"metrics line {lineno} malformed: {exc}") from None
-        reg.inc(name.strip(), value, **labels)
+        name = name.strip()
+        base, part = _histogram_part(name, hist_names)
+        if base is None:
+            reg.inc(name, value, **labels)
+            continue
+        if part == "bucket":
+            try:
+                le = float(labels.pop("le"))
+            except KeyError:
+                raise ExportError(
+                    f"metrics line {lineno}: histogram bucket without le label"
+                ) from None
+        entry = partial.setdefault(
+            (base, tuple(sorted(labels.items()))),
+            {"cum": [], "sum": 0.0, "count": 0.0},
+        )
+        if part == "bucket":
+            entry["cum"].append((le, value))  # type: ignore[union-attr]
+        else:
+            entry[part] = value
+    for (base, label_items), entry in partial.items():
+        reg.add_histogram(
+            base, _rebuild_histogram(base, entry), **dict(label_items)
+        )
     return reg
+
+
+def _histogram_part(name: str, hist_names: set):
+    """(family, 'bucket'|'sum'|'count') when ``name`` belongs to one."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in hist_names:
+            return name[: -len(suffix)], suffix[1:]
+    return None, None
+
+
+def _rebuild_histogram(name: str, entry: Dict[str, object]) -> Histogram:
+    """Invert :meth:`Histogram.cumulative` for one parsed series."""
+    cum = sorted(entry["cum"])  # type: ignore[arg-type]
+    if not cum or not math.isinf(cum[-1][0]):
+        raise ExportError(f"histogram {name!r} has no +Inf bucket")
+    bounds = [le for le, _ in cum[:-1]]
+    if not bounds:
+        raise ExportError(f"histogram {name!r} has no finite buckets")
+    hist = Histogram(bounds)
+    counts = []
+    prev = 0.0
+    for _, running in cum:
+        counts.append(running - prev)
+        prev = running
+    hist.counts = counts
+    hist.sum = float(entry["sum"])  # type: ignore[arg-type]
+    hist.count = float(entry["count"])  # type: ignore[arg-type]
+    return hist
 
 
 def _parse_labels(body: str, lineno: int) -> dict:

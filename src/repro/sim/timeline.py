@@ -73,6 +73,17 @@ class Timeline:
         """Stream role: the group label's prefix ('stay:p3:i2' -> 'stay')."""
         return group.split(":", 1)[0] if group else "other"
 
+    @classmethod
+    def lane_of(cls, request: ScheduledRequest) -> tuple:
+        """Canonical (role, kind) lane of a request.
+
+        The single definition shared by the byte ledger below and every
+        lane-keyed consumer (the Gantt renderer, per-role reports) — keep
+        them keyed identically or per-role accounting and rendering drift
+        apart.
+        """
+        return cls.role_of(request.group), request.kind
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -112,7 +123,7 @@ class Timeline:
         if self.keep_trace:
             self.trace.append(req)
         self._bytes_by_kind[kind] = self._bytes_by_kind.get(kind, 0) + nbytes
-        role_key = (self.role_of(group), kind)
+        role_key = self.lane_of(req)
         self._bytes_by_role[role_key] = self._bytes_by_role.get(role_key, 0) + nbytes
         return req
 
@@ -155,7 +166,7 @@ class Timeline:
             if req.start >= now and predicate(req):
                 req.cancelled = True
                 self._bytes_by_kind[req.kind] -= req.nbytes
-                self._bytes_by_role[(self.role_of(req.group), req.kind)] -= req.nbytes
+                self._bytes_by_role[self.lane_of(req)] -= req.nbytes
                 cancelled.append(req)
             else:
                 kept.append(req)

@@ -1,10 +1,18 @@
-"""ASCII Gantt rendering of device timelines.
+"""ASCII Gantt rendering of device timelines and span traces.
 
 The whole FastBFS argument is about *when* streams occupy which spindle —
 stay writes hiding under scatter compute, update reads queueing behind
-them, the two-disk rotation separating read and write passes.  With tracing
-enabled (``Machine(..., trace=True)``), :func:`render_gantt` draws exactly
-that: one lane per (device, stream role), time on the x axis.
+them, the two-disk rotation separating read and write passes.  Two data
+sources record exactly that, and both render here through one shared lane
+renderer so their timelines tell one story:
+
+* **device request traces** (``Machine(..., trace=True)``) — one lane per
+  (stream role, request kind), via :func:`render_timeline_gantt` /
+  :func:`render_gantt`;
+* **obs span traces** (``machine.attach_tracer(Tracer())``) — one lane
+  per span name, via :func:`render_span_gantt`, accepting a live
+  ``Tracer``, a list of :class:`~repro.obs.tracer.Span` (e.g. loaded from
+  a JSONL trace file), or a machine with a tracer attached.
 
 ::
 
@@ -15,7 +23,7 @@ that: one lane per (device, stream role), time on the x axis.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.timeline import ScheduledRequest, Timeline
@@ -25,10 +33,74 @@ _FULL = "█"
 _PARTIAL = "▒"
 _IDLE = "·"
 
+#: Preferred lane ordering for span-trace rendering (taxonomy order).
+SPAN_LANE_ORDER = (
+    "stage",
+    "query",
+    "iteration",
+    "scatter",
+    "gather",
+    "shuffle",
+    "stay_flush",
+    "stay_cancel",
+    "interval",
+)
+
+Interval = Tuple[float, float]
+
 
 def lane_key(request: ScheduledRequest) -> Tuple[str, str]:
-    role = Timeline.role_of(request.group)
-    return role, request.kind
+    """Canonical (role, kind) lane of a request (see ``Timeline.lane_of``)."""
+    return Timeline.lane_of(request)
+
+
+def _coverage_chars(
+    intervals: Iterable[Interval], start: float, end: float, width: int
+) -> str:
+    """Render interval coverage of [start, end) into ``width`` cells."""
+    cell = (end - start) / width
+    coverage = [0.0] * width
+    for lo, hi in intervals:
+        lo = max(lo, start)
+        hi = min(hi, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / cell)
+        last = min(int((hi - start) / cell), width - 1)
+        for i in range(first, last + 1):
+            cell_lo = start + i * cell
+            cell_hi = cell_lo + cell
+            coverage[i] += max(0.0, min(hi, cell_hi) - max(lo, cell_lo)) / cell
+    return "".join(
+        _FULL if c >= 0.75 else (_PARTIAL if c > 0.05 else _IDLE)
+        for c in coverage
+    )
+
+
+def render_lanes(
+    title: str,
+    lanes: Sequence[Tuple[str, List[Interval]]],
+    start: float,
+    end: float,
+    width: int = 80,
+) -> str:
+    """Shared lane renderer: labelled interval sets on one time axis."""
+    if end <= start:
+        raise SimulationError(f"empty window [{start}, {end})")
+    if width < 10:
+        raise SimulationError("width must be >= 10 characters")
+    cell = (end - start) / width
+    lines = [
+        f"{title}: [{format_seconds(start)} .. {format_seconds(end)}]"
+        f"  ({format_seconds(cell)}/cell)"
+    ]
+    label_width = max((len(label) for label, _ in lanes), default=8)
+    for label, intervals in lanes:
+        chars = _coverage_chars(intervals, start, end, width)
+        lines.append(f"  {label.ljust(label_width)} {chars}")
+    if len(lines) == 1:
+        lines.append("  (no requests in window)")
+    return "\n".join(lines)
 
 
 def render_timeline_gantt(
@@ -37,7 +109,7 @@ def render_timeline_gantt(
     end: Optional[float] = None,
     width: int = 80,
 ) -> str:
-    """Render one device's trace as per-role lanes."""
+    """Render one device's request trace as per-(role, kind) lanes."""
     if not timeline.keep_trace:
         raise SimulationError(
             f"timeline {timeline.name!r} was not tracing; construct the "
@@ -46,47 +118,15 @@ def render_timeline_gantt(
     requests = [r for r in timeline.trace if not r.cancelled]
     if end is None:
         end = max((r.end for r in requests), default=start + 1.0)
-    if end <= start:
-        raise SimulationError(f"empty window [{start}, {end})")
-    if width < 10:
-        raise SimulationError("width must be >= 10 characters")
 
-    lanes: Dict[Tuple[str, str], List[ScheduledRequest]] = {}
+    by_lane: Dict[Tuple[str, str], List[Interval]] = {}
     for req in requests:
-        lanes.setdefault(lane_key(req), []).append(req)
-
-    cell = (end - start) / width
-    lines = [
-        f"{timeline.name}: [{format_seconds(start)} .. {format_seconds(end)}]"
-        f"  ({format_seconds(cell)}/cell)"
+        by_lane.setdefault(lane_key(req), []).append((req.start, req.end))
+    lanes = [
+        (f"{role}[{kind[0].upper()}]", intervals)
+        for (role, kind), intervals in sorted(by_lane.items())
     ]
-    label_width = max(
-        (len(f"{role}[{kind[0].upper()}]") for role, kind in lanes), default=8
-    )
-    for (role, kind), reqs in sorted(lanes.items()):
-        coverage = [0.0] * width
-        for req in reqs:
-            lo = max(req.start, start)
-            hi = min(req.end, end)
-            if hi <= lo:
-                continue
-            first = int((lo - start) / cell)
-            last = min(int((hi - start) / cell), width - 1)
-            for i in range(first, last + 1):
-                cell_lo = start + i * cell
-                cell_hi = cell_lo + cell
-                coverage[i] += max(
-                    0.0, min(hi, cell_hi) - max(lo, cell_lo)
-                ) / cell
-        chars = "".join(
-            _FULL if c >= 0.75 else (_PARTIAL if c > 0.05 else _IDLE)
-            for c in coverage
-        )
-        label = f"{role}[{kind[0].upper()}]".ljust(label_width)
-        lines.append(f"  {label} {chars}")
-    if len(lines) == 1:
-        lines.append("  (no requests in window)")
-    return "\n".join(lines)
+    return render_lanes(timeline.name, lanes, start, end, width)
 
 
 def render_gantt(
@@ -111,3 +151,60 @@ def render_gantt(
         for dev in devices
     ]
     return "\n".join(blocks)
+
+
+def _extract_spans(source) -> List:
+    """Spans from a Tracer, a machine with a tracer, or a span iterable."""
+    spans = getattr(source, "spans", None)
+    if spans is not None:
+        return list(spans)
+    tracer = getattr(source, "tracer", None)
+    if tracer is not None:
+        if not tracer.enabled:
+            raise SimulationError(
+                "machine has no span tracer attached; call "
+                "machine.attach_tracer(Tracer()) before the run"
+            )
+        return list(tracer.spans)
+    return list(source)
+
+
+def span_lanes(
+    source, names: Optional[Sequence[str]] = None
+) -> List[Tuple[str, List[Interval]]]:
+    """Group spans into (name, intervals) lanes in taxonomy order."""
+    spans = [s for s in _extract_spans(source) if s.finished]
+    by_name: Dict[str, List[Interval]] = {}
+    for sp in spans:
+        if names is not None and sp.name not in names:
+            continue
+        by_name.setdefault(sp.name, []).append((sp.start, sp.end))
+    order = {name: i for i, name in enumerate(SPAN_LANE_ORDER)}
+    return [
+        (name, by_name[name])
+        for name in sorted(by_name, key=lambda n: (order.get(n, len(order)), n))
+    ]
+
+
+def render_span_gantt(
+    source,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+    names: Optional[Sequence[str]] = None,
+    title: str = "spans",
+) -> str:
+    """Render an obs span trace as one lane per span name.
+
+    ``source`` is a :class:`~repro.obs.tracer.Tracer`, a machine with an
+    attached tracer, or any iterable of :class:`~repro.obs.tracer.Span`
+    (e.g. ``read_spans_jsonl(path)``) — the ``--trace`` JSONL world and the
+    ``Machine(trace=True)`` request world share this renderer's axis and
+    glyphs, so their timelines are directly comparable.  ``names`` limits
+    the lanes (e.g. ``("scatter", "gather", "stay_flush")``).
+    """
+    lanes = span_lanes(source, names=names)
+    if end is None:
+        ends = [hi for _, intervals in lanes for _, hi in intervals]
+        end = max(ends, default=start + 1.0)
+    return render_lanes(title, lanes, start, end, width)

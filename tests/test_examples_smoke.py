@@ -17,6 +17,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 FAST = [
     "quickstart.py",
     "algorithm_extensions.py",
+    "profiling.py",
 ]
 SLOW = [
     "social_network_analysis.py",

@@ -28,6 +28,7 @@ from repro.obs import (
     NULL_TRACER,
     SPAN_SCHEMA,
     CounterRegistry,
+    Histogram,
     NullTracer,
     Span,
     TraceError,
@@ -302,6 +303,86 @@ class TestPrometheusRoundTrip:
         assert "# TYPE x_total counter" in text
         assert "# TYPE y_resident gauge" in text
         assert 'x_total{device="d0"} 2' in text  # integral values print as ints
+
+
+# ----------------------------------------------------------------------
+# Histograms (span-duration distributions) and their Prometheus form
+# ----------------------------------------------------------------------
+class TestHistograms:
+    def test_observe_uses_le_bucketing(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 2.0, 100.0):
+            h.observe(v)
+        # le semantics: 1.0 lands in the first bucket, 100.0 overflows.
+        assert h.counts == [2.0, 1.0, 1.0]
+        assert h.count == 4.0 and h.sum == 103.5
+        assert h.cumulative() == [(1.0, 2.0), (10.0, 3.0), (float("inf"), 4.0)]
+
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_registry_observe_fixes_buckets(self):
+        reg = CounterRegistry()
+        reg.observe("h", 0.5, buckets=(1.0, 2.0), stage="scatter")
+        with pytest.raises(ValueError):
+            reg.observe("h", 0.5, buckets=(1.0, 3.0), stage="scatter")
+        assert reg.histogram("h", stage="scatter").count == 1.0
+        assert len(reg) == 1
+
+    def test_ingest_spans_builds_per_stage_series(self, traced):
+        _, _, tracer = traced
+        reg = CounterRegistry().ingest_spans(tracer)
+        names = {sp.name for sp in tracer.spans}
+        for name in names:
+            hist = reg.histogram("span_duration_seconds", stage=name)
+            assert hist is not None
+            assert hist.count == sum(
+                1 for sp in tracer.spans if sp.name == name
+            )
+        total = sum(h.count for _, _, h in reg.histograms())
+        assert total == len(tracer.spans)
+
+    def test_prometheus_round_trips_histograms_exactly(self, traced):
+        _, _, tracer = traced
+        reg = CounterRegistry().ingest_spans(tracer)
+        reg.inc("device_bytes_total", 42.0, device="hdd0", kind="read",
+                role="edges")
+        assert parse_prometheus(to_prometheus(reg)) == reg
+
+    def test_prometheus_histogram_exposition_format(self):
+        reg = CounterRegistry()
+        reg.observe("lat_seconds", 0.5, buckets=(1.0, 10.0), stage="scatter")
+        reg.observe("lat_seconds", 100.0, buckets=(1.0, 10.0), stage="scatter")
+        text = to_prometheus(reg)
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="1",stage="scatter"} 1' in text
+        assert 'lat_seconds_bucket{le="10",stage="scatter"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf",stage="scatter"} 2' in text
+        assert 'lat_seconds_sum{stage="scatter"} 100.5' in text
+        assert 'lat_seconds_count{stage="scatter"} 2' in text
+
+    def test_parse_rejects_bucket_without_le(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{stage="x"} 1\n'
+        )
+        with pytest.raises(Exception):
+            parse_prometheus(text)
+
+    def test_run_bfs_metrics_include_span_histograms(self, tmp_path):
+        graph = random_graph(250, 1500, seed=9)
+        result = run_bfs(
+            graph, "fastbfs",
+            trace_path=str(tmp_path / "t.jsonl"),
+            metrics_path=str(tmp_path / "m.prom"),
+        )
+        hist = result.metrics.histogram("span_duration_seconds", stage="query")
+        assert hist is not None and hist.count >= 1
+        back = parse_prometheus((tmp_path / "m.prom").read_text())
+        assert back == result.metrics
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,261 @@
+"""Tests for the benchmark snapshot harness and regression gate.
+
+Contracts locked down here:
+
+* **schema round-trip** — a collected snapshot writes as canonical JSON
+  and loads back equal, with schema version checked;
+* **determinism** — two collections at the same divisor/seed produce
+  byte-identical documents (no timestamps, no host facts);
+* **gate behaviour** — improvements pass, regressions beyond tolerance
+  fail with a readable per-metric diff, direction-aware per metric;
+* **sequencing** — ``BENCH_<seq>.json`` naming, newest-pair comparison,
+  and the CLI's exit codes.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.harness import ExperimentRunner
+from repro.cli import main as cli_main
+from repro.obs.bench import (
+    DEFAULT_SCENARIOS,
+    SNAPSHOT_SCHEMA_VERSION,
+    TOLERANCES,
+    BenchError,
+    Scenario,
+    collect_snapshot,
+    compare_latest,
+    compare_snapshots,
+    load_snapshot,
+    snapshot_files,
+    snapshot_to_json,
+    write_snapshot,
+)
+
+DIVISOR = 2048  # tiny stand-ins: the whole scenario set runs in ~1 s
+
+#: One cheap scenario pair for collection-level tests.
+FAST_SCENARIOS = (
+    Scenario("fastbfs", "fastbfs"),
+    Scenario("x-stream", "x-stream"),
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return collect_snapshot(
+        runner=ExperimentRunner(divisor=DIVISOR), scenarios=FAST_SCENARIOS
+    )
+
+
+def synthetic_snapshot() -> dict:
+    """A small hand-written snapshot for gate tests (no runs needed)."""
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "divisor": 1024,
+        "seed": 1,
+        "scenarios": {
+            "fastbfs": {
+                "engine": "fastbfs",
+                "execution_time": 10.0,
+                "input_bytes": 1000.0,
+                "total_bytes": 2000.0,
+                "iowait_ratio": 0.5,
+                "iterations": 12,
+                "trim_effectiveness": 0.8,
+            },
+        },
+        "derived": {},
+    }
+
+
+# ----------------------------------------------------------------------
+# collection + schema
+# ----------------------------------------------------------------------
+class TestCollection:
+    def test_snapshot_shape(self, snapshot):
+        assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert snapshot["divisor"] == DIVISOR
+        assert set(snapshot["scenarios"]) == {"fastbfs", "x-stream"}
+        for doc in snapshot["scenarios"].values():
+            for key in (
+                "execution_time", "input_bytes", "total_bytes",
+                "iowait_ratio", "iterations", "trim_effectiveness", "profile",
+            ):
+                assert key in doc
+            assert doc["execution_time"] > 0
+            assert 0.0 <= doc["trim_effectiveness"] <= 1.0
+            prof = doc["profile"]
+            assert "stage_totals" in prof
+            assert "stay_hidden_fraction" in prof
+        assert snapshot["derived"]["speedup_vs_x-stream"] > 0
+
+    def test_fastbfs_trims_and_x_stream_does_not(self, snapshot):
+        sc = snapshot["scenarios"]
+        assert sc["fastbfs"]["trim_effectiveness"] > 0
+        assert sc["x-stream"]["trim_effectiveness"] == 0.0
+
+    def test_snapshot_is_deterministic(self, snapshot):
+        again = collect_snapshot(
+            runner=ExperimentRunner(divisor=DIVISOR), scenarios=FAST_SCENARIOS
+        )
+        assert snapshot_to_json(again) == snapshot_to_json(snapshot)
+
+    def test_snapshot_json_has_no_timestamps(self, snapshot):
+        text = snapshot_to_json(snapshot)
+        for word in ("time_stamp", "timestamp", "date", "hostname"):
+            assert word not in text
+
+    def test_write_load_round_trip(self, snapshot, tmp_path):
+        path = write_snapshot(snapshot, root=str(tmp_path))
+        assert path.endswith("BENCH_0.json")
+        assert load_snapshot(path) == snapshot
+
+    def test_default_scenarios_cover_the_paper_matrix(self):
+        names = {sc.name for sc in DEFAULT_SCENARIOS}
+        assert {"fastbfs", "x-stream", "graphchi", "fastbfs-2disk"} <= names
+
+
+class TestFiles:
+    def test_sequence_numbering(self, tmp_path):
+        doc = synthetic_snapshot()
+        p0 = write_snapshot(doc, root=str(tmp_path))
+        p1 = write_snapshot(doc, root=str(tmp_path))
+        p9 = write_snapshot(doc, root=str(tmp_path), seq=9)
+        p_next = write_snapshot(doc, root=str(tmp_path))
+        assert [p.endswith(s) for p, s in [
+            (p0, "BENCH_0.json"), (p1, "BENCH_1.json"),
+            (p9, "BENCH_9.json"), (p_next, "BENCH_10.json"),
+        ]] == [True] * 4
+        assert [seq for seq, _ in snapshot_files(str(tmp_path))] == [0, 1, 9, 10]
+
+    def test_load_rejects_wrong_schema_version(self, tmp_path):
+        doc = synthetic_snapshot()
+        doc["schema_version"] = 999
+        path = write_snapshot(doc, root=str(tmp_path))
+        with pytest.raises(BenchError):
+            load_snapshot(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text("not json")
+        with pytest.raises(BenchError):
+            load_snapshot(str(path))
+
+    def test_compare_latest_needs_two(self, tmp_path):
+        with pytest.raises(BenchError):
+            compare_latest(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+class TestGate:
+    def test_identical_snapshots_pass(self):
+        base = synthetic_snapshot()
+        cmp_ = compare_snapshots(base, copy.deepcopy(base))
+        assert cmp_.ok and not cmp_.regressions
+        assert "PASS" in cmp_.render()
+
+    def test_improvement_passes_and_is_reported(self):
+        base = synthetic_snapshot()
+        cur = copy.deepcopy(base)
+        cur["scenarios"]["fastbfs"]["execution_time"] = 8.0  # 20% faster
+        cmp_ = compare_snapshots(base, cur)
+        assert cmp_.ok
+        assert [d.metric for d in cmp_.improvements] == ["execution_time"]
+
+    def test_regression_beyond_tolerance_fails_readably(self):
+        base = synthetic_snapshot()
+        cur = copy.deepcopy(base)
+        cur["scenarios"]["fastbfs"]["execution_time"] = 10.5  # +5% > 2%
+        cmp_ = compare_snapshots(base, cur)
+        assert not cmp_.ok
+        (reg,) = cmp_.regressions
+        assert reg.metric == "execution_time"
+        text = cmp_.render()
+        assert "REGRESSED" in text and "FAIL" in text
+        assert "10" in text and "10.5" in text  # both values visible
+
+    def test_drift_within_tolerance_passes(self):
+        base = synthetic_snapshot()
+        cur = copy.deepcopy(base)
+        cur["scenarios"]["fastbfs"]["execution_time"] = 10.1  # +1% < 2%
+        assert compare_snapshots(base, cur).ok
+
+    def test_direction_awareness(self):
+        base = synthetic_snapshot()
+        # Lower trim effectiveness is a regression...
+        worse = copy.deepcopy(base)
+        worse["scenarios"]["fastbfs"]["trim_effectiveness"] = 0.7
+        assert not compare_snapshots(base, worse).ok
+        # ...but higher is an improvement.
+        better = copy.deepcopy(base)
+        better["scenarios"]["fastbfs"]["trim_effectiveness"] = 0.9
+        cmp_ = compare_snapshots(base, better)
+        assert cmp_.ok and cmp_.improvements
+
+    def test_iteration_count_must_match_exactly(self):
+        base = synthetic_snapshot()
+        for delta in (-1, 1):
+            cur = copy.deepcopy(base)
+            cur["scenarios"]["fastbfs"]["iterations"] = 12 + delta
+            assert not compare_snapshots(base, cur).ok
+
+    def test_divisor_mismatch_is_a_problem(self):
+        base = synthetic_snapshot()
+        cur = copy.deepcopy(base)
+        cur["divisor"] = 4096
+        cmp_ = compare_snapshots(base, cur)
+        assert not cmp_.ok and cmp_.problems
+
+    def test_missing_scenario_is_a_problem(self):
+        base = synthetic_snapshot()
+        cur = copy.deepcopy(base)
+        del cur["scenarios"]["fastbfs"]
+        cmp_ = compare_snapshots(base, cur)
+        assert not cmp_.ok
+        assert "missing" in cmp_.problems[0]
+
+    def test_tolerance_policy_covers_the_tracked_metrics(self):
+        assert set(TOLERANCES) == {
+            "execution_time", "input_bytes", "total_bytes",
+            "iowait_ratio", "iterations", "trim_effectiveness",
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_compare_without_snapshots_exits_2(self, tmp_path, capsys):
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+
+    def test_compare_pass_and_fail_paths(self, tmp_path, capsys):
+        base = synthetic_snapshot()
+        write_snapshot(base, root=str(tmp_path))
+        write_snapshot(copy.deepcopy(base), root=str(tmp_path))
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 0
+        bad = copy.deepcopy(base)
+        bad["scenarios"]["fastbfs"]["total_bytes"] = 2500.0
+        write_snapshot(bad, root=str(tmp_path))
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "total_bytes" in out and "FAIL" in out
+
+    def test_bench_run_writes_next_snapshot(self, tmp_path, capsys):
+        # Committed baseline (seq 0) + CI run (seq 1) is the real layout;
+        # emulate it at test scale via the module-level divisor.
+        assert cli_main([
+            "bench", "run", "--dir", str(tmp_path),
+            "--scale-divisor", str(DIVISOR),
+        ]) == 0
+        files = snapshot_files(str(tmp_path))
+        assert [seq for seq, _ in files] == [0]
+        doc = load_snapshot(files[0][1])
+        assert doc["divisor"] == DIVISOR
+        assert set(doc["scenarios"]) == {sc.name for sc in DEFAULT_SCENARIOS}

@@ -3,13 +3,20 @@
 import numpy as np
 import pytest
 
-from tests.helpers import hub_root, small_fastbfs_config
+from tests.helpers import fresh_machine, hub_root, small_fastbfs_config
 
 from repro.core.engine import FastBFSEngine
 from repro.errors import SimulationError
 from repro.graph.generators import rmat_graph
+from repro.obs import Span, Tracer
 from repro.sim.timeline import Timeline
-from repro.sim.trace import render_gantt, render_timeline_gantt
+from repro.sim.trace import (
+    lane_key,
+    render_gantt,
+    render_span_gantt,
+    render_timeline_gantt,
+    span_lanes,
+)
 from repro.storage.device import DeviceSpec
 from repro.storage.machine import Machine
 from repro.utils.units import MB
@@ -74,6 +81,64 @@ class TestRendering:
         tl = Timeline("d", keep_trace=True)
         text = render_timeline_gantt(tl, start=0.0, end=1.0)
         assert "no requests" in text
+
+
+class TestLaneKeyUnification:
+    def test_lane_key_matches_byte_ledger_keys(self):
+        """One lane definition: renderer keys == bytes_by_role keys."""
+        tl = Timeline("d", keep_trace=True)
+        tl.schedule(0.0, 1.0, 10, "read", group="edges:p0")
+        tl.schedule(0.0, 0.5, 20, "write", group="stay:p3:i2")
+        tl.schedule(0.0, 0.5, 30, "write", group="updates:i1:p2")
+        assert {lane_key(r) for r in tl.trace} == set(tl.bytes_by_role())
+
+    def test_lane_of_is_role_kind(self):
+        tl = Timeline(keep_trace=True)
+        req = tl.schedule(0.0, 1.0, 10, "write", group="stay:p3:i2")
+        assert Timeline.lane_of(req) == ("stay", "write")
+
+
+class TestSpanGantt:
+    def _spans(self):
+        return [
+            Span(1, None, "query", 0.0, 10.0),
+            Span(2, 1, "iteration", 0.0, 6.0),
+            Span(3, 2, "scatter", 0.0, 4.0),
+            Span(4, 1, "stay_flush", 1.0, 3.0),
+            Span(5, 1, "open", 9.0, -1.0),  # unfinished: dropped
+        ]
+
+    def test_lanes_follow_taxonomy_order(self):
+        lanes = span_lanes(self._spans())
+        assert [name for name, _ in lanes] == [
+            "query", "iteration", "scatter", "stay_flush"
+        ]
+
+    def test_names_filter(self):
+        lanes = span_lanes(self._spans(), names=("scatter", "stay_flush"))
+        assert [name for name, _ in lanes] == ["scatter", "stay_flush"]
+
+    def test_renders_from_span_list(self):
+        text = render_span_gantt(self._spans(), width=20, title="t")
+        assert "scatter" in text and "stay_flush" in text
+        assert "t:" in text
+
+    def test_renders_from_tracer_and_machine(self):
+        graph = rmat_graph(scale=9, edge_factor=8, seed=3)
+        machine = fresh_machine()
+        tracer = Tracer()
+        machine.attach_tracer(tracer)
+        FastBFSEngine(small_fastbfs_config()).run(
+            graph, machine, root=hub_root(graph)
+        )
+        from_tracer = render_span_gantt(tracer, width=40)
+        from_machine = render_span_gantt(machine, width=40)
+        assert from_tracer == from_machine
+        assert "scatter" in from_tracer
+
+    def test_machine_without_tracer_raises(self):
+        with pytest.raises(SimulationError):
+            render_span_gantt(fresh_machine())
 
 
 class TestEngineGantt:
