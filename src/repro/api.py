@@ -27,6 +27,7 @@ from repro.obs import (
     write_spans_jsonl,
 )
 from repro.obs import profile_trace as _profile_trace
+from repro.storage.faults import FaultPlan
 from repro.storage.machine import Machine
 
 ENGINES = ("fastbfs", "x-stream", "graphchi")
@@ -48,12 +49,19 @@ def make_engine(name: str, config: Optional[AnyEngineConfig] = None) -> AnyEngin
 
 
 def _resolve_machine(
-    machine: Optional[Machine], machine_kwargs: dict
+    machine: Optional[Machine],
+    machine_kwargs: dict,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Machine:
     if machine is None:
-        return Machine.commodity_server(**machine_kwargs)
+        return Machine.commodity_server(fault_plan=fault_plan, **machine_kwargs)
     if machine_kwargs:
         raise ConfigError("pass either a machine or machine kwargs, not both")
+    if fault_plan is not None:
+        raise ConfigError(
+            "pass fault_plan only when run_bfs builds the machine; for your "
+            "own machine use Machine(..., fault_plan=...) directly"
+        )
     return machine
 
 
@@ -118,6 +126,7 @@ def run_bfs(
     config: Optional[AnyEngineConfig] = None,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
     **machine_kwargs: object,
 ) -> EngineResult:
     """Run BFS on ``graph`` with the named engine and return its result.
@@ -129,13 +138,19 @@ def run_bfs(
     supports it); for a *batch* of independent traversals use
     :func:`run_queries`.
 
+    ``fault_plan`` attaches a seeded
+    :class:`~repro.storage.faults.FaultPlan` to the default machine, so
+    the run executes under deterministic fault injection (see
+    ``docs/fault_injection.md``); injected failures the engine cannot
+    absorb surface as typed :class:`~repro.errors.ReproError` subclasses.
+
     ``trace_path`` writes the span trace as JSONL (attaching a tracer to
     the machine if none is installed); ``metrics_path`` writes a
     Prometheus-style counter snapshot.  Either also attaches the sampled
     :class:`~repro.obs.CounterRegistry` as ``result.metrics``.  Tracing
     never changes simulated timings or byte totals.
     """
-    machine = _resolve_machine(machine, machine_kwargs)
+    machine = _resolve_machine(machine, machine_kwargs, fault_plan)
     _prepare_tracing(machine, trace_path)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
     result = eng.run(graph, machine, root=root, roots=roots)

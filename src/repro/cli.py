@@ -16,6 +16,9 @@ Subcommands:
 * ``bench`` — collect a ``BENCH_<seq>.json`` benchmark snapshot
   (``bench run``) or diff the two newest under the tolerance policy
   (``bench compare``, nonzero exit on regression);
+* ``chaos`` — sweep seeded fault-injection schedules across engines and
+  disk placements; every surviving run must produce bit-identical BFS
+  levels (nonzero exit on any violation);
 * ``datasets`` — list the Table II registry.
 """
 
@@ -139,6 +142,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bcmp.add_argument("--dir", default=".", dest="bench_dir",
                       help="directory holding BENCH_*.json (default: .)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault schedules; exit 1 on any violation",
+    )
+    chaos.add_argument(
+        "--profile", choices=["smoke", "full"], default="smoke",
+        help="sweep size: smoke (CI gate) or full (acceptance, >=50 seeds)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; trials derive their schedules from it")
+    chaos.add_argument("--trials", type=int, default=None,
+                       help="override the profile's trial count")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print every trial, not just failures")
 
     sub.add_parser("datasets", help="list the Table II dataset registry")
 
@@ -497,6 +515,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.tooling.chaos import run_chaos
+
+    report = run_chaos(
+        profile=args.profile, seed=args.seed, trials=args.trials
+    )
+    print(report.render())
+    if args.verbose:
+        for trial in report.trials:
+            print("  " + trial.describe())
+    if not report.ok:
+        print(
+            f"chaos: {len(report.violations)} violation(s) — a fault "
+            "schedule produced wrong output or an untyped failure",
+            file=sys.stderr,
+        )
+        return 1
+    print("chaos: every surviving run matched the reference bit-for-bit")
+    return 0
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -583,6 +622,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "profile": cmd_profile,
         "bench": cmd_bench,
+        "chaos": cmd_chaos,
         "datasets": cmd_datasets,
         "gantt": cmd_gantt,
         "shapes": cmd_shapes,

@@ -72,7 +72,7 @@ class FastBFSEngine(EdgeCentricEngine):
         rt.trim_active = False
 
     def _after_run(self, rt: _RunState) -> None:
-        rt.stay.discard_all()
+        rt.stay.finalize()
         stats = rt.stay.stats
         rt.extras.update(
             {
@@ -83,6 +83,8 @@ class FastBFSEngine(EdgeCentricEngine):
                 "stay_bytes_written": float(stats.bytes_written),
                 "stay_pool_waits": float(stats.pool_waits),
                 "stay_end_of_run_discards": float(stats.end_of_run_discards),
+                "stay_integrity_failures": float(stats.integrity_failures),
+                "stay_write_failures": float(stats.write_failures),
             }
         )
 

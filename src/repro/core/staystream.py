@@ -38,7 +38,15 @@ from repro.storage.vfs import VFS, VirtualFile
 
 @dataclass
 class StayStats:
-    """Cumulative trimming counters for one run."""
+    """Cumulative trimming counters for one run.
+
+    ``cancellations`` counts every mid-run degradation to the previous
+    edge file — the timing cancels of paper §IV.B plus the fault-driven
+    ones broken out below (``integrity_failures`` for checksum mismatches
+    at swap-in, ``write_failures`` for flushes that kept failing after
+    retries).  Each mid-run cancellation emits one ``stay_cancel`` span
+    with ``end_of_run=False``, so the two countings always agree.
+    """
 
     files_written: int = 0
     swaps: int = 0
@@ -47,6 +55,8 @@ class StayStats:
     bytes_written: int = 0
     pool_waits: int = 0
     end_of_run_discards: int = 0
+    integrity_failures: int = 0
+    write_failures: int = 0
 
 
 class StayStreamManager:
@@ -92,9 +102,23 @@ class StayStreamManager:
         writer = self._pending.pop(p, None)
         if writer is None:
             return current_file, "keep"
+        if writer.write_failed:
+            # The flush path gave up after retries: the stay file is
+            # incomplete on the medium.  Degrade exactly like a timing
+            # cancellation — the previous edge file is still valid input.
+            self.stats.write_failures += 1
+            return self._cancel(p, writer, current_file, reason="write_failure")
         if writer.is_ready(grace=self.config.cancellation_grace):
             # Possibly a short wait inside the grace window.
             self.clock.wait_until(writer.ready_at())
+            if writer.verify_integrity():
+                # Durable but damaged (torn write): a checksum mismatch at
+                # swap-in degrades to the previous edge file rather than
+                # ever serving corrupt edges.
+                self.stats.integrity_failures += 1
+                return self._cancel(
+                    p, writer, current_file, reason="checksum_mismatch"
+                )
             self._emit_span("stay_flush", p, writer, end=writer.ready_at())
             new_file = writer.file
             old_name = current_file.name
@@ -107,9 +131,20 @@ class StayStreamManager:
             self.vfs.replace(new_file.name, old_name)
             self.stats.swaps += 1
             return new_file, "swap"
+        return self._cancel(p, writer, current_file, reason="not_ready")
+
+    def _cancel(
+        self,
+        p: int,
+        writer: AsyncStreamWriter,
+        current_file: VirtualFile,
+        reason: str,
+    ) -> Tuple[VirtualFile, str]:
+        """Mid-run cancellation: drop the stay file, keep the previous input."""
         writer.cancel()
         self._emit_span(
-            "stay_cancel", p, writer, end=self.clock.now, end_of_run=False
+            "stay_cancel", p, writer, end=self.clock.now,
+            end_of_run=False, reason=reason,
         )
         self.stats.cancellations += 1
         self.vfs.delete(writer.file.name)
@@ -157,6 +192,7 @@ class StayStreamManager:
             self.config.stay_buffer_bytes,
             num_buffers=self.config.num_stay_buffers,
             group=f"stay:p{p}:i{iteration}",
+            retry=self.config.retry,
         )
         self._current[p] = writer
         self._iteration_of[id(writer)] = iteration
@@ -195,12 +231,21 @@ class StayStreamManager:
         for p, writer in list(self._pending.items()) + list(self._current.items()):
             writer.cancel()
             self._emit_span(
-                "stay_cancel", p, writer, end=self.clock.now, end_of_run=True
+                "stay_cancel", p, writer, end=self.clock.now,
+                end_of_run=True, reason="end_of_run",
             )
             self.vfs.delete_if_exists(writer.file.name)
             self.stats.end_of_run_discards += 1
         self._pending.clear()
         self._current.clear()
+
+    def finalize(self) -> None:
+        """End-of-run teardown: the public name for :meth:`discard_all`.
+
+        Delegates through the instance attribute so a sanitizer that
+        wrapped ``discard_all`` still observes the terminal transition.
+        """
+        self.discard_all()
 
     @property
     def pending_partitions(self) -> Dict[int, AsyncStreamWriter]:

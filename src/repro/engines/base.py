@@ -38,6 +38,7 @@ from repro.graph.graph import Graph
 from repro.graph.partition import VertexPartitioning, plan_partition_count
 from repro.sim.timeline import ScheduledRequest
 from repro.storage.device import Device
+from repro.storage.faults import RetryPolicy, submit_with_retry
 from repro.storage.machine import Machine
 from repro.storage.streams import StreamReader, StreamWriter
 from repro.storage.vfs import VirtualFile
@@ -85,6 +86,11 @@ class EngineConfig:
     #: VFS leak detection, clock monotonicity, stay-writer state machine and
     #: cost-charge coverage.  Violations raise SanitizerError at end of run.
     sanitize: bool = False
+    #: Stream-layer recovery from transient I/O faults: bounded retries
+    #: with simulated-clock backoff (see repro.storage.faults.RetryPolicy).
+    #: Only matters when the machine carries a fault plan — fault-free
+    #: runs never enter the retry loop.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         self.edge_buffer_bytes = parse_bytes(self.edge_buffer_bytes)
@@ -358,6 +364,7 @@ class EdgeCentricEngine:
                 cfg.edge_buffer_bytes,
                 prefetch=cfg.num_edge_buffers,
                 group="input",
+                retry=cfg.retry,
             )
             writers = [
                 StreamWriter(
@@ -365,6 +372,7 @@ class EdgeCentricEngine:
                     vfs.create(f"edges:p{p}", dev_edges),
                     cfg.edge_buffer_bytes,
                     group=f"partition:p{p}",
+                    retry=cfg.retry,
                 )
                 for p in part
             ]
@@ -547,6 +555,7 @@ class EdgeCentricEngine:
                 cfg.edge_buffer_bytes,
                 prefetch=cfg.num_edge_buffers,
                 group=f"edges:p{p}",
+                retry=cfg.retry,
             )
             generated = 0
             streamed = 0
@@ -604,6 +613,7 @@ class EdgeCentricEngine:
                 cfg.update_buffer_bytes,
                 prefetch=cfg.num_edge_buffers,
                 group=f"updates:p{p}",
+                retry=cfg.retry,
             )
             activated = 0
             gathered = 0
@@ -630,25 +640,27 @@ class EdgeCentricEngine:
 
     def _read_vertices(self, rt: _RunState, p: int) -> None:
         f = rt.vertex_files[p]
-        req = f.device.submit(
-            submit_time=rt.machine.clock.now,
+        req = submit_with_retry(
+            rt.machine.clock,
+            f,
             kind="read",
             nbytes=self._vertex_nbytes(rt, p),
-            file_id=f.file_id,
             offset=0,
             group="vertices",
+            retry=self.config.retry,
         )
         rt.machine.clock.wait_until(req.end)
 
     def _write_vertices(self, rt: _RunState, p: int) -> None:
         f = rt.vertex_files[p]
-        req = f.device.submit(
-            submit_time=rt.machine.clock.now,
+        req = submit_with_retry(
+            rt.machine.clock,
+            f,
             kind="write",
             nbytes=self._vertex_nbytes(rt, p),
-            file_id=f.file_id,
             offset=0,
             group="vertices",
+            retry=self.config.retry,
         )
         rt.pending_vertex_writes.append(req)
 
@@ -665,6 +677,7 @@ class EdgeCentricEngine:
                 rt.machine.vfs.create(f"updates:{parity}:p{p}", device),
                 cfg.update_buffer_bytes,
                 group=f"updates:{parity}:p{p}",
+                retry=cfg.retry,
             )
             for p in rt.partitioning
         ]

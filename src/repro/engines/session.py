@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.algorithms.streaming import BFSAlgorithm, StreamingAlgorithm
 from repro.engines.result import EngineResult
-from repro.errors import EngineError
+from repro.errors import CrashError, EngineError
 from repro.graph.graph import Graph
 from repro.graph.partition import VertexPartitioning
 from repro.storage.device import Device
@@ -136,6 +136,10 @@ class QuerySession:
         self.protect_staged = protect_staged
         self.cumulative_report = cumulative_report
         self._used = False
+        # Crash/resume state: the quiescent entry checkpoint (taken only on
+        # fault-injected machines) and the (root, roots) of a crashed run.
+        self._checkpoint = None
+        self._crashed: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -160,6 +164,11 @@ class QuerySession:
         sanitizer = getattr(machine, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.begin_session()
+        if getattr(machine, "fault_injector", None) is not None:
+            # Session entry is a quiescent point (post-staging barrier or
+            # post-restore), so this checkpoint is the crash/resume anchor:
+            # recover() rewinds here and replays the whole query.
+            self._checkpoint = machine.checkpoint()
         baseline = None if self.cumulative_report else machine.report()
 
         # Assemble the per-query state bundle from the staged artifact.
@@ -219,8 +228,73 @@ class QuerySession:
                 iterations=rt.iterations,
                 extras=dict(rt.extras),
             )
+        except CrashError:
+            # Remember what was being asked so recover() can replay it.
+            # The injected "crash" span was already emitted by the fault
+            # injector at the failure point; the open query/iteration spans
+            # were closed by their context managers as the error unwound.
+            self._crashed = (root, roots)
+            raise
         finally:
             engine._rt = None
+
+    # ------------------------------------------------------------------
+    def recover(self) -> EngineResult:
+        """Resume after a :class:`CrashError` killed :meth:`run` mid-query.
+
+        Rewinds the machine to this session's entry checkpoint (the sealed
+        :class:`StagedGraph` is untouched by queries, so staging is never
+        repeated) and replays the same query in a fresh session.  Because
+        the simulation is deterministic and the fault injector's one-shot
+        budgets are *not* rewound by restore, the replay runs past the
+        crash point and produces bit-identical output to an uncrashed run.
+
+        Returns the replayed :class:`EngineResult` with
+        ``extras["recovered"]`` counting the recovery attempts.  Raises
+        :class:`EngineError` if the session did not crash.  If the replay
+        crashes again (another crash fault with remaining budget), the
+        new crash state is adopted so ``recover()`` may be called again.
+        """
+        if self._crashed is None:
+            raise EngineError(
+                "nothing to recover: the session did not crash "
+                "(recover() is only valid after run() raised CrashError)"
+            )
+        if self._checkpoint is None:
+            raise EngineError(
+                "cannot recover: no entry checkpoint was taken "
+                "(the machine has no fault injector)"
+            )
+        machine = self.staged.machine
+        machine.restore(self._checkpoint)
+        resumed_at = machine.clock.now
+        root, roots = self._crashed
+        self._crashed = None
+        session = QuerySession(
+            self.engine,
+            self.staged,
+            algorithm=self.algorithm,
+            protect_staged=self.protect_staged,
+            cumulative_report=self.cumulative_report,
+        )
+        try:
+            result = session.run(root=root, roots=roots)
+        except CrashError:
+            # Adopt the replay's crash state so the caller can retry from
+            # the same quiescent anchor.
+            self._crashed = session._crashed
+            raise
+        if machine.fault_injector is not None:
+            machine.fault_injector.record_recovery()
+        machine.tracer.emit(
+            "recover",
+            start=resumed_at,
+            end=resumed_at,
+            engine=self.engine.name,
+            roots=[int(r) for r in (roots if roots is not None else [root])],
+        )
+        result.extras["recovered"] = result.extras.get("recovered", 0.0) + 1.0
+        return result
 
     # ------------------------------------------------------------------
     def _cleanup(self, rt) -> None:

@@ -13,6 +13,15 @@ the per-partition edge files once, and ``run_many()`` amortizes that cost
 over a batch of traversals.  Because X-Stream never swaps stay files over
 the staged inputs, a query session leaves the artifact untouched even
 without the protection machinery FastBFS needs.
+
+Fault resilience is likewise inherited from the scaffolding: every edge,
+update and vertex stream goes through
+:func:`~repro.storage.faults.submit_with_retry` under
+``EngineConfig.retry``, and crash/resume works through
+:meth:`QuerySession.recover <repro.engines.session.QuerySession.recover>`.
+X-Stream has no stay files, so the checksum-fallback layer simply never
+engages — the chaos harness (``repro chaos``) runs it as the
+trimming-free control.
 """
 
 from __future__ import annotations

@@ -35,6 +35,36 @@ class OutOfSpaceError(StorageError):
     """A device ran out of modeled capacity."""
 
 
+class IOFaultError(StorageError):
+    """An injected device fault surfaced through the I/O path.
+
+    Base class for the deterministic fault-injection subsystem
+    (:mod:`repro.storage.faults`); raised variants say whether the fault
+    is worth retrying.
+    """
+
+
+class TransientIOError(IOFaultError):
+    """A fault that may succeed on retry (media glitch, timeout)."""
+
+
+class PersistentIOError(IOFaultError):
+    """A fault that will keep failing (bad sector, dead device)."""
+
+
+class ChecksumError(StorageError):
+    """Stored data failed an integrity check against its recorded checksum."""
+
+
+class CrashError(ReproError):
+    """An injected crash point killed the run mid-flight.
+
+    Recoverable via :meth:`repro.engines.session.QuerySession.recover`,
+    which replays the query from the sealed staged artifact plus the last
+    machine checkpoint.
+    """
+
+
 class GraphError(ReproError):
     """Graph construction or I/O failure."""
 

@@ -28,6 +28,12 @@ Counter names (see docs/observability.md):
 * ``engine_*_total{engine}`` — per-run counters ingested from an
   :class:`EngineResult` (edges scanned, partitions skipped, stay
   cancellations, ...).
+* ``fault_<kind>_total{device}``, ``io_retries_total{device}``,
+  ``io_giveups_total{device}``, ``crash_recoveries_total`` — fault
+  injection and recovery counters sampled from the machine's
+  :class:`~repro.storage.faults.FaultInjector` (when a fault plan is
+  attached); these reconcile exactly with the ``io_retry``/``io_giveup``/
+  ``crash`` spans in the trace.
 * ``span_duration_seconds{stage}`` — **histograms** of span durations per
   span name, filled by :meth:`CounterRegistry.ingest_spans` from a trace.
 """
@@ -217,6 +223,9 @@ class CounterRegistry:
         reg._ingest_samples(machine.vfs.counter_samples())
         if machine.page_cache is not None:
             reg._ingest_samples(machine.page_cache.counter_samples())
+        injector = getattr(machine, "fault_injector", None)
+        if injector is not None:
+            reg._ingest_samples(injector.counter_samples())
         return reg
 
     @classmethod
@@ -277,6 +286,8 @@ class CounterRegistry:
             "stay_records_written",
             "stay_bytes_written",
             "stay_end_of_run_discards",
+            "stay_integrity_failures",
+            "stay_write_failures",
         ):
             if extra in result.extras:
                 self.inc(f"engine_{extra}_total", result.extras[extra], engine=eng)

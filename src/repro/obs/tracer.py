@@ -22,9 +22,18 @@ name           attrs
 ``gather``     partition, updates_gathered, activated
 ``shuffle``    iteration, updates_persisted, update_bytes
 ``stay_flush`` partition, iteration, records, bytes  (async span)
-``stay_cancel``partition, iteration, end_of_run      (async span)
+``stay_cancel``partition, iteration, end_of_run, reason (async span)
 ``interval``   partition (GraphChi's PSW unit of work)
+``io_retry``   device, group, attempt (backoff window; fault injection)
+``io_giveup``  device, group, attempts (zero-width; retry exhaustion)
+``crash``      device, group, index (zero-width; injected crash point)
+``recover``    engine, roots (zero-width; crash/resume replay anchor)
 =============  =====================================================
+
+The last four exist only on fault-injected machines (see
+:mod:`repro.storage.faults`); their counts reconcile exactly with the
+injector's ``io_retries_total``/``io_giveups_total``/``fault_crash_total``/
+``crash_recoveries_total`` counters.
 
 Design rules:
 

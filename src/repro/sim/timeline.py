@@ -41,6 +41,9 @@ class ScheduledRequest:
     start: float = 0.0
     end: float = 0.0
     cancelled: bool = False
+    #: Non-raising injected fault applied to this request, if any
+    #: ("torn_write" | "latency" | "stall"); see repro.storage.faults.
+    fault: Optional[str] = None
 
     @property
     def queue_delay(self) -> float:

@@ -16,10 +16,14 @@ Key pieces:
 * :class:`StreamWriter` — buffered appends, drained with a barrier;
 * :class:`AsyncStreamWriter` — the dedicated stay-list writer: a private
   buffer pool, fire-and-forget flushes, and cancellation support;
-* :class:`Machine` — clock + devices + memory budget + core count.
+* :class:`Machine` — clock + devices + memory budget + core count;
+* :class:`FaultPlan` / :class:`FaultInjector` / :class:`RetryPolicy` —
+  deterministic fault injection and the stream-layer retry loop
+  (see :mod:`repro.storage.faults`).
 """
 
 from repro.storage.device import Device, DeviceSpec
+from repro.storage.faults import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from repro.storage.machine import IOReport, Machine
 from repro.storage.pagecache import PageCache
 from repro.storage.streams import AsyncStreamWriter, StreamReader, StreamWriter
@@ -36,4 +40,8 @@ __all__ = [
     "Machine",
     "IOReport",
     "PageCache",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import OutOfSpaceError, StorageError
 from repro.sim.timeline import ScheduledRequest, Timeline
 from repro.utils.units import GB, MB
 
@@ -34,12 +34,18 @@ class DeviceSpec:
     read_bandwidth: float  # bytes/second
     write_bandwidth: float  # bytes/second
     kind: str = "hdd"  # "hdd" | "ssd" | "ram" (reporting only)
+    #: Modeled capacity in bytes; ``None`` means unbounded (the default —
+    #: the paper's experiments never fill a disk, but a fault plan or an
+    #: explicit capacity lets out-of-space behaviour be exercised).
+    capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.seek_time < 0:
             raise StorageError(f"seek_time must be >= 0, got {self.seek_time}")
         if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
             raise StorageError("bandwidths must be positive")
+        if self.capacity is not None and self.capacity <= 0:
+            raise StorageError(f"capacity must be positive, got {self.capacity}")
 
     # ------------------------------------------------------------------
     # presets (2016-era commodity parts, matching the paper's test bed)
@@ -90,8 +96,12 @@ class Device:
         # (file id, next sequential offset) of the last scheduled request.
         self._head: Optional[Tuple[int, int]] = None
         self._seek_count = 0
+        self._used_bytes = 0
         #: Optional shared OS page cache (see repro.storage.pagecache).
         self.cache = None
+        #: Optional fault injector (see repro.storage.faults); installed by
+        #: ``Machine(fault_plan=...)``, shared across the machine's disks.
+        self.injector = None
 
     @property
     def name(self) -> str:
@@ -102,6 +112,47 @@ class Device:
             self.spec.read_bandwidth if kind == "read" else self.spec.write_bandwidth
         )
         return seeks * self.spec.seek_time + nbytes / bandwidth
+
+    # ------------------------------------------------------------------
+    # capacity model
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently reserved by live file data on this device."""
+        return self._used_bytes
+
+    @property
+    def available_bytes(self) -> Optional[int]:
+        """Free capacity in bytes; ``None`` when the device is unbounded."""
+        if self.spec.capacity is None:
+            return None
+        return max(0, self.spec.capacity - self._used_bytes)
+
+    def reserve(self, nbytes: int) -> None:
+        """Claim ``nbytes`` of capacity for file data (VFS append path)."""
+        available = self.available_bytes
+        if available is not None and nbytes > available:
+            self._out_of_space(nbytes, available)
+        self._used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` of capacity (VFS delete path)."""
+        self._used_bytes = max(0, self._used_bytes - nbytes)
+
+    def _out_of_space(self, requested: int, available: Optional[int] = None) -> None:
+        """The single choke point every out-of-space condition goes through.
+
+        Both real capacity exhaustion (:meth:`reserve`) and an injected
+        ``out_of_space`` fault raise here, so the error message is uniform:
+        device name, requested bytes, available bytes.
+        """
+        if available is None:
+            avail = self.available_bytes
+            available = avail if avail is not None else 0
+        raise OutOfSpaceError(
+            f"device {self.name!r} is out of space: "
+            f"requested {requested} bytes, {available} bytes available"
+        )
 
     def submit(
         self,
@@ -124,7 +175,21 @@ class Device:
         not resident; a fully-cached read completes instantly without
         touching the timeline (and without counting as device bytes — the
         paper's "input data amount" is what reaches the disk).
+
+        With an installed fault injector, the request is first judged
+        against the machine's fault plan: error faults raise before any
+        state changes, latency/stall faults inflate the service time, a
+        torn write tags the returned request (the stream layer applies the
+        corruption), and an injected out-of-space goes through the same
+        choke point as real capacity exhaustion.
         """
+        outcome = None
+        if self.injector is not None:
+            # Evaluated before any cache/head mutation so a raised fault
+            # leaves the device exactly as it was (retries re-judge).
+            outcome = self.injector.on_submit(self, kind, nbytes, group)
+            if outcome is not None and outcome.out_of_space:
+                self._out_of_space(nbytes)
         disk_bytes = nbytes
         if self.cache is not None:
             if kind == "read":
@@ -145,22 +210,28 @@ class Device:
         self._head = (file_id, offset + nbytes)
         self._seek_count += seeks
         service = self.service_time(kind, disk_bytes, seeks)
-        return self.timeline.schedule(
+        if outcome is not None and outcome.delay > 0.0:
+            service += outcome.delay
+        req = self.timeline.schedule(
             submit=submit_time,
             service=service,
             nbytes=disk_bytes,
             kind=kind,
             group=group,
         )
+        if outcome is not None and outcome.torn and kind == "write":
+            req.fault = "torn_write"
+        return req
 
     # ------------------------------------------------------------------
     # checkpoint protocol
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Capture head position, seek count and timeline state."""
+        """Capture head position, seek count, capacity use, timeline state."""
         return {
             "head": self._head,
             "seek_count": self._seek_count,
+            "used_bytes": self._used_bytes,
             "timeline": self.timeline.snapshot(),
         }
 
@@ -168,6 +239,7 @@ class Device:
         """Roll the device back to a snapshot (see Machine.restore)."""
         self._head = state["head"]
         self._seek_count = state["seek_count"]
+        self._used_bytes = state["used_bytes"]
         self.timeline.restore(state["timeline"])
 
     # ------------------------------------------------------------------

@@ -161,6 +161,7 @@ class MachineCheckpoint:
     vfs_state: object
     device_states: List[object] = field(default_factory=list)
     cache_state: Optional[object] = None
+    fault_state: Optional[object] = None
 
 
 class Machine:
@@ -180,6 +181,7 @@ class Machine:
         trace: bool = False,
         page_cache: Union[int, str, None] = None,
         sanitize: bool = False,
+        fault_plan=None,
     ) -> None:
         if not disks:
             raise ConfigError("a machine needs at least one persistent disk")
@@ -212,6 +214,17 @@ class Machine:
         self.vfs = VFS()
         self._disk_specs = list(disks)
         self._sanitize = sanitize
+        #: Deterministic fault schedule (see repro.storage.faults), if any.
+        self.fault_plan = fault_plan
+        self.fault_injector = None
+        if fault_plan is not None:
+            from repro.storage.faults import FaultInjector
+
+            # One injector shared by the persistent disks; the RAM
+            # pseudo-device is exempt (faults model persistent media).
+            self.fault_injector = FaultInjector(fault_plan, clock=self.clock)
+            for dev in self.disks:
+                dev.injector = self.fault_injector
         #: Span tracer (repro.obs); the shared no-op unless one is attached.
         self.tracer = NULL_TRACER
         #: Installed runtime checker, if any (see repro.tooling.sanitizer).
@@ -231,6 +244,7 @@ class Machine:
         num_disks: int = 1,
         disk_kind: str = "hdd",
         sanitize: bool = False,
+        fault_plan=None,
     ) -> "Machine":
         """The paper's test bed: Xeon X5472-class box, 4GB working memory.
 
@@ -243,15 +257,23 @@ class Machine:
             specs = [DeviceSpec.ssd(f"ssd{i}") for i in range(num_disks)]
         else:
             raise ConfigError(f"unknown disk kind {disk_kind!r}")
-        return Machine(specs, memory=memory, cores=cores, sanitize=sanitize)
+        return Machine(
+            specs, memory=memory, cores=cores, sanitize=sanitize,
+            fault_plan=fault_plan,
+        )
 
     def fresh(self) -> "Machine":
-        """A new machine with identical hardware and a zeroed clock/VFS."""
+        """A new machine with identical hardware and a zeroed clock/VFS.
+
+        A fault plan carries over as a *fresh* injector: same seed, same
+        schedule, replayed from the beginning.
+        """
         return Machine(
             self._disk_specs,
             memory=self.memory_bytes,
             cores=self.cores,
             sanitize=self._sanitize,
+            fault_plan=self.fault_plan,
         )
 
     # ------------------------------------------------------------------
@@ -282,6 +304,8 @@ class Machine:
         ``NULL_TRACER`` (or a fresh ``NullTracer``) to detach.
         """
         self.tracer = tracer.bind_clock(self.clock)
+        if self.fault_injector is not None:
+            self.fault_injector.tracer = self.tracer
         return self
 
     def counters(self):
@@ -307,6 +331,11 @@ class Machine:
             cache_state=(
                 self.page_cache.snapshot() if self.page_cache is not None else None
             ),
+            fault_state=(
+                self.fault_injector.snapshot()
+                if self.fault_injector is not None
+                else None
+            ),
         )
 
     def restore(self, cp: MachineCheckpoint) -> None:
@@ -322,6 +351,8 @@ class Machine:
             dev.restore(state)
         if self.page_cache is not None and cp.cache_state is not None:
             self.page_cache.restore(cp.cache_state)
+        if self.fault_injector is not None and cp.fault_state is not None:
+            self.fault_injector.restore(cp.fault_state)
         if self.sanitizer is not None:
             self.sanitizer.notify_restore(self.clock.now)
 

@@ -19,14 +19,16 @@ path (device timelines + the engine clock):
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import IOFaultError, StorageError
 from repro.sim.clock import SimClock
 from repro.sim.timeline import ScheduledRequest
+from repro.storage.faults import RetryPolicy, submit_with_retry
 from repro.storage.vfs import VirtualFile
 
 
@@ -45,6 +47,7 @@ class StreamReader:
         buffer_bytes: int,
         prefetch: int = 2,
         group: str = "",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if buffer_bytes <= 0:
             raise StorageError(f"buffer_bytes must be positive, got {buffer_bytes}")
@@ -53,6 +56,7 @@ class StreamReader:
         self.clock = clock
         self.file = file
         self.group = group or f"read:{file.name}"
+        self.retry = retry
         self.prefetch = prefetch
         record_size = file.record_size
         self.records_per_buffer = (
@@ -67,13 +71,14 @@ class StreamReader:
         while len(self._pending) < self.prefetch and self._next_submit < self._total:
             count = min(self.records_per_buffer, self._total - self._next_submit)
             offset = self._next_submit * self.file.record_size
-            req = self.file.device.submit(
-                submit_time=self.clock.now,
+            req = submit_with_retry(
+                self.clock,
+                self.file,
                 kind="read",
                 nbytes=count * self.file.record_size,
-                file_id=self.file.file_id,
                 offset=offset,
                 group=self.group,
+                retry=self.retry,
             )
             self._pending.append((req, self._next_submit, count))
             self._next_submit += count
@@ -101,6 +106,7 @@ class StreamWriter:
         file: VirtualFile,
         buffer_bytes: int,
         group: str = "",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if buffer_bytes <= 0:
             raise StorageError(f"buffer_bytes must be positive, got {buffer_bytes}")
@@ -108,6 +114,7 @@ class StreamWriter:
         self.file = file
         self.buffer_bytes = buffer_bytes
         self.group = group or f"write:{file.name}"
+        self.retry = retry
         #: Simulated time the writer was opened (span anchoring only).
         self.opened_at = clock.now
         self._pending: List[np.ndarray] = []
@@ -138,6 +145,7 @@ class StreamWriter:
             else np.concatenate(self._pending)
         )
         offset = self.file.nbytes
+        self._on_chunk(chunk, offset)
         self.file.append_records(chunk)
         req = self._submit(chunk.nbytes, offset)
         self._pending = []
@@ -145,16 +153,29 @@ class StreamWriter:
         self.flush_count += 1
         return req
 
+    def _on_chunk(self, chunk: np.ndarray, offset: int) -> None:
+        """Hook: called with each chunk about to be written (pre-submit).
+
+        The stay writer overrides this to record per-chunk checksums of
+        what was *sent*, so a torn write (which damages what *landed*) is
+        detectable at swap-in.
+        """
+
     def _submit(self, nbytes: int, offset: int) -> ScheduledRequest:
-        req = self.file.device.submit(
-            submit_time=self.clock.now,
+        req = submit_with_retry(
+            self.clock,
+            self.file,
             kind="write",
             nbytes=nbytes,
-            file_id=self.file.file_id,
             offset=offset,
             group=self.group,
+            retry=self.retry,
         )
         self._requests.append(req)
+        if req.fault == "torn_write":
+            # The device acknowledged the write but it did not land intact:
+            # damage the stored copy so readers see what the medium holds.
+            self.file.corrupt_at(offset)
         return req
 
     def drain(self) -> None:
@@ -189,6 +210,13 @@ class AsyncStreamWriter(StreamWriter):
     writes still in flight (paper §III condition 1).  Readiness of the whole
     file and cancellation of the not-yet-started tail are exposed for the
     cross-iteration swap logic (condition 2).
+
+    Because a stay file is advisory (an optimization, never the only copy
+    of the data), this writer is also where I/O faults degrade instead of
+    propagate: a per-chunk CRC ledger detects torn writes at swap-in, and
+    a write that keeps failing after retries flips :attr:`write_failed` —
+    both degrade the swap to the previous edge file exactly like a
+    cancellation.
     """
 
     def __init__(
@@ -198,13 +226,22 @@ class AsyncStreamWriter(StreamWriter):
         buffer_bytes: int,
         num_buffers: int = 4,
         group: str = "",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if num_buffers < 1:
             raise StorageError(f"num_buffers must be >= 1, got {num_buffers}")
-        super().__init__(clock, file, buffer_bytes, group or f"stay:{file.name}")
+        super().__init__(
+            clock, file, buffer_bytes, group or f"stay:{file.name}", retry=retry
+        )
         self.num_buffers = num_buffers
         self.pool_waits = 0  # times the engine stalled on buffer exhaustion
         self.cancelled = False
+        #: Flipped when a flush keeps failing after retries; the manager
+        #: treats a failed writer exactly like a cancellation candidate.
+        self.write_failed = False
+        self.write_failure: Optional[IOFaultError] = None
+        # (offset, nbytes, crc32 of the bytes sent) per flushed chunk.
+        self._chunk_sums: List[Tuple[int, int, int]] = []
 
     def _live_requests(self) -> List[ScheduledRequest]:
         now = self.clock.now
@@ -214,6 +251,18 @@ class AsyncStreamWriter(StreamWriter):
     def buffers_in_flight(self) -> int:
         return len(self._live_requests())
 
+    def append(self, arr: np.ndarray) -> None:
+        if self.write_failed:
+            # Degraded: the file will be discarded at swap time anyway, so
+            # stop spending buffers and device bandwidth on it.
+            return
+        super().append(arr)
+
+    def _on_chunk(self, chunk: np.ndarray, offset: int) -> None:
+        self._chunk_sums.append(
+            (offset, chunk.nbytes, zlib.crc32(chunk.view(np.uint8).tobytes()))
+        )
+
     def _submit(self, nbytes: int, offset: int) -> ScheduledRequest:
         live = self._live_requests()
         if len(live) >= self.num_buffers:
@@ -221,7 +270,39 @@ class AsyncStreamWriter(StreamWriter):
             # oldest to land (this is the only sync point in the fast path).
             self.pool_waits += 1
             self.clock.wait_until(min(r.end for r in live))
-        return super()._submit(nbytes, offset)
+        try:
+            return super()._submit(nbytes, offset)
+        except IOFaultError as exc:
+            # Stay data is never the only copy; a lost flush costs the
+            # trimming opportunity, not correctness.  Record the failure
+            # and hand back an already-dead pseudo-request so accounting
+            # ignores it; the manager cancels the writer at swap time.
+            self.write_failed = True
+            self.write_failure = exc
+            now = self.clock.now
+            dead = ScheduledRequest(
+                group=self.group, kind="write", nbytes=0,
+                submit=now, service=0.0, start=now, end=now,
+            )
+            dead.cancelled = True
+            return dead
+
+    def verify_integrity(self) -> List[int]:
+        """Re-checksum every flushed chunk; return offsets that mismatch.
+
+        Compares the CRC of what each flush *sent* against the bytes the
+        file holds now — a torn write shows up as exactly one damaged
+        chunk.  An empty list means the file is intact.
+        """
+        bad: List[int] = []
+        if not self._chunk_sums:
+            return bad
+        data = self.file.records().view(np.uint8)
+        for offset, nbytes, crc in self._chunk_sums:
+            stored = zlib.crc32(data[offset : offset + nbytes].tobytes())
+            if stored != crc:
+                bad.append(offset)
+        return bad
 
     def ready_at(self) -> float:
         """Time at which every submitted write will have completed."""

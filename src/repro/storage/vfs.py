@@ -36,6 +36,8 @@ class VirtualFile:
         self._num_records = 0
         self._dtype: Optional[np.dtype] = None
         self.deleted = False
+        #: Byte offsets damaged by injected torn writes (diagnostics).
+        self.corruptions: List[int] = []
 
     # ------------------------------------------------------------------
     # data path
@@ -56,9 +58,40 @@ class VirtualFile:
                 f"dtype mismatch appending to {self.name!r}: "
                 f"{arr.dtype} != {self._dtype}"
             )
+        self.device.reserve(arr.nbytes)
         self._chunks.append(arr)
         self._nbytes += arr.nbytes
         self._num_records += len(arr)
+
+    def corrupt_at(self, offset: int) -> None:
+        """Flip one stored byte at ``offset`` (torn-write fault data path).
+
+        Models a write that was acknowledged but did not land intact: what
+        subsequent reads see differs from what the writer sent.  The flip
+        is copy-on-corrupt — the stored chunk is replaced by a modified
+        copy, never mutated in place — because appended arrays may still
+        be shared with engine buffers.
+        """
+        self._check_alive()
+        if not 0 <= offset < self._nbytes:
+            raise StorageError(
+                f"corruption offset {offset} out of range for {self.name!r} "
+                f"({self._nbytes} bytes)"
+            )
+        if self._sealed is not None:
+            damaged = self._sealed.copy()
+            damaged.view(np.uint8)[offset] ^= 0xFF
+            self._sealed = damaged
+        else:
+            base = 0
+            for i, chunk in enumerate(self._chunks):
+                if offset < base + chunk.nbytes:
+                    damaged = chunk.copy()
+                    damaged.view(np.uint8)[offset - base] ^= 0xFF
+                    self._chunks[i] = damaged
+                    break
+                base += chunk.nbytes
+        self.corruptions.append(offset)
 
     def seal(self) -> None:
         """Concatenate chunks into one contiguous array (idempotent)."""
@@ -157,6 +190,7 @@ class VFS:
         if f is None:
             raise StorageError(f"no such file {name!r}")
         f.deleted = True
+        f.device.release(f.nbytes)
 
     def delete_if_exists(self, name: str) -> None:
         if name in self._files:

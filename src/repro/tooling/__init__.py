@@ -9,8 +9,12 @@ Two layers guard the invariants ordinary tests cannot see:
 * :mod:`repro.tooling.lint` — an AST-based static pass
   (``python -m repro.tooling.lint src/repro``) enforcing repo-specific
   source rules such as "no wall-clock calls inside the simulation".
+* :mod:`repro.tooling.chaos` — the chaos harness (``repro chaos``):
+  seeded fault schedules swept across engines and disk placements, every
+  surviving run held to bit-identical BFS levels.
 
-See ``docs/correctness_tooling.md`` for the full checker/rule catalogue.
+See ``docs/correctness_tooling.md`` for the full checker/rule catalogue
+and ``docs/fault_injection.md`` for the chaos regimen.
 """
 
 from __future__ import annotations
@@ -18,15 +22,19 @@ from __future__ import annotations
 from typing import Any
 
 __all__ = [
+    "ChaosReport",
+    "ChaosTrial",
     "LintViolation",
     "Sanitizer",
     "Violation",
     "lint_paths",
     "lint_source",
+    "run_chaos",
 ]
 
 _LINT_EXPORTS = {"LintViolation", "lint_paths", "lint_source"}
 _SANITIZER_EXPORTS = {"Sanitizer", "Violation"}
+_CHAOS_EXPORTS = {"ChaosReport", "ChaosTrial", "run_chaos"}
 
 
 def __getattr__(name: str) -> Any:
@@ -40,4 +48,8 @@ def __getattr__(name: str) -> Any:
         from repro.tooling import sanitizer
 
         return getattr(sanitizer, name)
+    if name in _CHAOS_EXPORTS:
+        from repro.tooling import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

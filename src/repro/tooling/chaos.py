@@ -1,0 +1,395 @@
+"""Chaos harness: seeded fault schedules swept across engines and configs.
+
+The fault-injection subsystem (:mod:`repro.storage.faults`) makes device
+misbehaviour a reproducible input; this module turns it into a *test
+regimen*.  :func:`run_chaos` sweeps a deterministic family of fault plans
+— transient read/write errors, latency spikes, torn stay-file writes, a
+probabilistic mid-query crash point, and (in some trials) a persistent
+media error — across the FastBFS and X-Stream engines on one- and
+two-disk machines, and holds every surviving run to the only acceptable
+standard: **bit-identical BFS levels** against the in-memory reference
+(:func:`repro.algorithms.reference.bfs_levels`).
+
+A trial ends in exactly one of four outcomes:
+
+``ok``
+    The run completed despite injected faults (retries and checksum
+    fallbacks absorbed them) and its levels match the reference.
+``recovered``
+    A crash point killed the query; :meth:`QuerySession.recover
+    <repro.engines.session.QuerySession.recover>` replayed it from the
+    staged artifact + entry checkpoint and the levels match the reference.
+``typed-error``
+    The run failed, but with a typed :class:`~repro.errors.ReproError`
+    subclass (persistent media error, retry exhaustion, out of space) —
+    the contract for unabsorbable faults.
+``violation``
+    Anything else: wrong levels, an untyped exception, or an
+    observability mismatch (span trace not reconciling with the
+    injector's counters).  One violation fails the whole sweep.
+
+Every trial also cross-checks the trace against the counter registry:
+``io_retry``/``io_giveup``/``crash``/``recover`` span counts must equal
+``io_retries_total``/``io_giveups_total``/``fault_crash_total``/
+``crash_recoveries_total`` exactly.
+
+Run it from the CLI (``repro chaos --profile smoke``; nonzero exit on
+violation — the CI ``chaos-smoke`` job does exactly this) or call
+:func:`run_chaos` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.reference import bfs_levels
+from repro.core.config import FastBFSConfig
+from repro.core.engine import FastBFSEngine
+from repro.engines.base import EdgeCentricEngine, EngineConfig
+from repro.engines.result import EngineResult
+from repro.engines.xstream import XStreamEngine
+from repro.errors import ConfigError, CrashError, ReproError
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import Graph
+from repro.obs.counters import CounterRegistry
+from repro.obs.tracer import Tracer
+from repro.storage.device import DeviceSpec
+from repro.storage.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.storage.machine import Machine
+from repro.utils.rng import rng_from_seed
+from repro.utils.units import KB, MB
+
+#: (engine name, disk count) scenarios each sweep cycles through.
+SCENARIOS: Tuple[Tuple[str, int], ...] = (
+    ("fastbfs", 1),
+    ("fastbfs", 2),
+    ("x-stream", 1),
+    ("x-stream", 2),
+)
+
+#: How many times a single trial will call ``recover()`` before declaring
+#: the crash schedule unrecoverable (each crash spec is one-shot, so this
+#: bounds pathological plans, not correct ones).
+MAX_RECOVERIES = 4
+
+#: Span names whose counts must reconcile with injector counters
+#: (span name -> counter name as sampled into the registry).
+_RECONCILED_SPANS: Tuple[Tuple[str, str], ...] = (
+    ("io_retry", "io_retries_total"),
+    ("io_giveup", "io_giveups_total"),
+    ("crash", "fault_crash_total"),
+    ("recover", "crash_recoveries_total"),
+)
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """One named sweep size: trial count plus the shared test graph."""
+
+    name: str
+    trials: int
+    scale: int = 8
+    edge_factor: int = 8
+    graph_seed: int = 3
+
+
+#: The registered profiles.  ``smoke`` is the CI gate (fast, fixed seed);
+#: ``full`` is the acceptance sweep (>= 50 seeded schedules).
+PROFILES: Dict[str, ChaosProfile] = {
+    "smoke": ChaosProfile("smoke", trials=12),
+    "full": ChaosProfile("full", trials=56),
+}
+
+
+@dataclass
+class ChaosTrial:
+    """Outcome record for one seeded fault schedule."""
+
+    index: int
+    engine: str
+    disks: int
+    seed: int
+    outcome: str  # "ok" | "recovered" | "typed-error" | "violation"
+    detail: str = ""
+    faults_injected: int = 0
+    retries: int = 0
+    recoveries: int = 0
+
+    def describe(self) -> str:
+        base = (
+            f"trial {self.index:3d} [{self.engine}/{self.disks}d seed "
+            f"{self.seed}] {self.outcome}"
+        )
+        extras = (
+            f" (faults={self.faults_injected}, retries={self.retries}, "
+            f"recoveries={self.recoveries})"
+        )
+        return base + extras + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ChaosReport:
+    """The result of one :func:`run_chaos` sweep."""
+
+    profile: str
+    seed: int
+    trials: List[ChaosTrial]
+
+    @property
+    def violations(self) -> List[ChaosTrial]:
+        return [t for t in self.trials if t.outcome == "violation"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for t in self.trials:
+            counts[t.outcome] = counts.get(t.outcome, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        counts = self.outcome_counts()
+        lines = [
+            f"chaos {self.profile} (seed {self.seed}): "
+            f"{len(self.trials)} trials, {len(self.violations)} violation(s)",
+            "  "
+            + "  ".join(
+                f"{k}: {counts.get(k, 0)}"
+                for k in ("ok", "recovered", "typed-error", "violation")
+            ),
+            f"  faults injected: {sum(t.faults_injected for t in self.trials)}"
+            f"  retries: {sum(t.retries for t in self.trials)}"
+            f"  recoveries: {sum(t.recoveries for t in self.trials)}",
+        ]
+        for t in self.trials:
+            if t.outcome in ("violation", "typed-error"):
+                lines.append("  " + t.describe())
+        return "\n".join(lines)
+
+
+def _trial_plan(rng: np.random.Generator, plan_seed: int) -> FaultPlan:
+    """One seeded fault schedule: the mix is rng-driven, the plan replays."""
+    specs: List[FaultSpec] = [
+        # Background transient errors on every device; low enough that the
+        # bounded retry loop almost always absorbs them.
+        FaultSpec(
+            kind="transient_error",
+            probability=float(rng.uniform(0.005, 0.04)),
+        ),
+        # Occasional latency spikes — purely timing, never correctness.
+        FaultSpec(
+            kind="latency",
+            probability=float(rng.uniform(0.01, 0.05)),
+            delay_seconds=float(rng.uniform(0.002, 0.02)),
+        ),
+    ]
+    # Torn stay-file writes: only checksummed consumers catch these, so
+    # they specifically exercise the integrity-fallback layer (FastBFS
+    # trials; X-Stream has no stay role and the spec simply never fires).
+    if rng.random() < 0.8:
+        specs.append(
+            FaultSpec(
+                kind="torn_write",
+                role="stay",
+                probability=float(rng.uniform(0.2, 0.7)),
+                max_fires=int(rng.integers(1, 4)),
+            )
+        )
+    # A probabilistic one-shot crash point.  The "vertices" role only
+    # appears during queries (staging uses input/partition groups), so a
+    # fired crash always lands mid-query where recover() applies.
+    if rng.random() < 0.7:
+        specs.append(
+            FaultSpec(
+                kind="crash",
+                role="vertices",
+                probability=float(rng.uniform(0.02, 0.25)),
+                max_fires=1,
+            )
+        )
+    # A minority of trials carry an unabsorbable persistent media error:
+    # those runs must die with a typed ReproError, never wrong output.
+    if rng.random() < 0.2:
+        specs.append(
+            FaultSpec(
+                kind="persistent_error",
+                probability=float(rng.uniform(0.002, 0.01)),
+                max_fires=1,
+            )
+        )
+    return FaultPlan(specs=tuple(specs), seed=plan_seed)
+
+
+def _make_engine(name: str, disks: int, retry: RetryPolicy) -> EdgeCentricEngine:
+    """A small out-of-core engine config so streaming paths are exercised."""
+    if name == "fastbfs":
+        return FastBFSEngine(
+            FastBFSConfig(
+                edge_buffer_bytes=2 * KB,
+                update_buffer_bytes=1 * KB,
+                stay_buffer_bytes=1 * KB,
+                num_partitions=4,
+                allow_in_memory=False,
+                rotate_streams=disks == 2,
+                retry=retry,
+            )
+        )
+    if name == "x-stream":
+        return XStreamEngine(
+            EngineConfig(
+                edge_buffer_bytes=2 * KB,
+                update_buffer_bytes=1 * KB,
+                num_partitions=4,
+                allow_in_memory=False,
+                retry=retry,
+            )
+        )
+    raise ConfigError(f"unknown chaos engine {name!r}")
+
+
+def _make_machine(disks: int, plan: FaultPlan) -> Machine:
+    machine = Machine(
+        [DeviceSpec.hdd(f"hdd{i}") for i in range(disks)],
+        memory=2 * MB,
+        cores=4,
+        fault_plan=plan,
+    )
+    machine.attach_tracer(Tracer())
+    return machine
+
+
+def _reconcile(machine: Machine) -> List[str]:
+    """Cross-check the span trace against the injector's counters."""
+    injector = machine.fault_injector
+    if injector is None:
+        return ["machine has no fault injector"]
+    span_counts: Dict[str, int] = {}
+    for span in machine.tracer.spans:
+        span_counts[span.name] = span_counts.get(span.name, 0) + 1
+    registry = CounterRegistry.from_machine(machine)
+    problems: List[str] = []
+    for span_name, counter_name in _RECONCILED_SPANS:
+        spans = span_counts.get(span_name, 0)
+        counted = registry.total(counter_name)
+        if float(spans) != counted:
+            problems.append(
+                f"{span_name} spans ({spans}) != {counter_name} ({counted:.0f})"
+            )
+    return problems
+
+
+def _run_trial(
+    index: int,
+    engine_name: str,
+    disks: int,
+    trial_seed: int,
+    graph: Graph,
+    root: int,
+    reference: np.ndarray,
+) -> ChaosTrial:
+    rng = rng_from_seed(trial_seed)
+    plan = _trial_plan(rng, trial_seed)
+    machine = _make_machine(disks, plan)
+    engine = _make_engine(engine_name, disks, RetryPolicy(max_attempts=4))
+    trial = ChaosTrial(
+        index=index, engine=engine_name, disks=disks, seed=trial_seed,
+        outcome="violation",
+    )
+    recoveries = 0
+    result: Optional[EngineResult] = None
+    try:
+        staged = engine.stage(graph, machine)
+        session = engine.session(staged)
+        try:
+            result = session.run(root=root)
+        except CrashError:
+            while result is None:
+                recoveries += 1
+                if recoveries > MAX_RECOVERIES:
+                    raise
+                try:
+                    result = session.recover()
+                except CrashError:
+                    continue
+    except ReproError as exc:
+        trial.outcome = "typed-error"
+        trial.detail = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - violations must be classified
+        trial.outcome = "violation"
+        trial.detail = f"untyped {type(exc).__name__}: {exc}"
+        return trial
+    injector = machine.fault_injector
+    if injector is not None:
+        trial.faults_injected = injector.faults_injected
+        trial.retries = injector.total("io_retries")
+        trial.recoveries = injector.total("crash_recoveries")
+    if result is not None:
+        levels = np.asarray(result.output["level"])
+        if not np.array_equal(levels, reference):
+            trial.outcome = "violation"
+            trial.detail = (
+                f"levels diverge from reference at "
+                f"{int(np.argmax(levels != reference))}"
+            )
+            return trial
+        trial.outcome = "recovered" if recoveries else "ok"
+    problems = _reconcile(machine)
+    if problems:
+        trial.outcome = "violation"
+        trial.detail = "; ".join(
+            ["trace/counter mismatch"] + problems + [trial.detail or ""]
+        ).strip("; ")
+    return trial
+
+
+def run_chaos(
+    profile: str = "smoke",
+    seed: int = 0,
+    trials: Optional[int] = None,
+) -> ChaosReport:
+    """Sweep seeded fault schedules across the engine/placement matrix.
+
+    ``profile`` selects a registered :class:`ChaosProfile` (``smoke`` or
+    ``full``); ``trials`` overrides its trial count.  The sweep is fully
+    deterministic in ``(profile, seed, trials)``: the same inputs replay
+    the same fault schedules and the same outcomes, bit for bit.
+    """
+    prof = PROFILES.get(profile)
+    if prof is None:
+        raise ConfigError(
+            f"unknown chaos profile {profile!r}; options: {sorted(PROFILES)}"
+        )
+    count = trials if trials is not None else prof.trials
+    if count < 1:
+        raise ConfigError(f"chaos needs at least one trial, got {count}")
+    graph = rmat_graph(
+        scale=prof.scale, edge_factor=prof.edge_factor, seed=prof.graph_seed
+    )
+    root = int(np.argmax(graph.out_degrees()))
+    reference = bfs_levels(graph, root)
+    records: List[ChaosTrial] = []
+    for index in range(count):
+        engine_name, disks = SCENARIOS[index % len(SCENARIOS)]
+        trial_seed = seed * 1_000_003 + index
+        records.append(
+            _run_trial(
+                index, engine_name, disks, trial_seed, graph, root, reference
+            )
+        )
+    return ChaosReport(profile=prof.name, seed=seed, trials=records)
+
+
+__all__ = [
+    "ChaosProfile",
+    "ChaosReport",
+    "ChaosTrial",
+    "MAX_RECOVERIES",
+    "PROFILES",
+    "SCENARIOS",
+    "run_chaos",
+]

@@ -48,6 +48,16 @@ FB108  engine-debug-io
     sites it knows about), and print-based debugging corrupts the CLI's
     machine-readable output.  Emit spans or counters instead
     (``repro.obs``).
+FB109  broad-except-in-engine
+    No bare ``except:`` and no ``except Exception:`` /
+    ``except BaseException:`` inside ``engines/`` or ``core/``.  The
+    fault-injection subsystem (:mod:`repro.storage.faults`) signals every
+    failure through a typed :class:`~repro.errors.ReproError` subclass —
+    ``TransientIOError`` retries, ``CrashError`` recovers, the rest
+    propagate.  A broad handler silently swallows injected crashes and
+    corruption signals, turning a recoverable fault into wrong output.
+    Catch the specific ``ReproError`` subclass the layer can actually
+    handle.
 """
 
 from __future__ import annotations
@@ -80,7 +90,11 @@ RULES: Dict[str, str] = {
     "FB106": "Timeline.schedule call outside Device.submit",
     "FB107": "_RunState construction or ._rt mutation outside engines/core",
     "FB108": "time-module import or print() call inside engines/core",
+    "FB109": "bare/broad except inside engines/core (catch ReproError subclasses)",
 }
+
+#: Exception names FB109 treats as over-broad in engines/core.
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
 
 
 @dataclass(frozen=True)
@@ -294,6 +308,42 @@ class _Visitor(ast.NodeVisitor):
                 "per-query state is owned by QuerySession; do not construct "
                 "_RunState outside engines/ or core/",
             )
+
+    # -- FB109 ---------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.ctx.in_engine_layer:
+            if node.type is None:
+                self._flag(
+                    node,
+                    "FB109",
+                    f"bare except in {self.ctx.subsystem}/ swallows injected "
+                    "faults (CrashError, corruption signals); catch the "
+                    "specific ReproError subclass this layer can handle",
+                )
+            else:
+                for exc in self._exception_names(node.type):
+                    if exc in _BROAD_EXCEPTION_NAMES:
+                        self._flag(
+                            node,
+                            "FB109",
+                            f"except {exc} in {self.ctx.subsystem}/ swallows "
+                            "injected faults (CrashError, corruption "
+                            "signals); catch the specific ReproError "
+                            "subclass this layer can handle",
+                        )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _exception_names(expr: ast.expr) -> List[str]:
+        """Names caught by an except clause (handles tuple clauses)."""
+        items = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        names: List[str] = []
+        for item in items:
+            if isinstance(item, ast.Name):
+                names.append(item.id)
+            elif isinstance(item, ast.Attribute):
+                names.append(item.attr)
+        return names
 
     # -- FB102 ---------------------------------------------------------
     def visit_Assert(self, node: ast.Assert) -> None:

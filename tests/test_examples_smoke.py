@@ -18,6 +18,7 @@ FAST = [
     "quickstart.py",
     "algorithm_extensions.py",
     "profiling.py",
+    "fault_injection.py",
 ]
 SLOW = [
     "social_network_analysis.py",

@@ -154,3 +154,86 @@ class TestDegradedHardware:
             small_fastbfs_config(rotate_streams=True)
         ).run(rmat10, machine, root=root)
         assert np.array_equal(result.levels, bfs_levels(rmat10, root))
+
+
+class TestEndOfRunCancellation:
+    """StayStreamManager.finalize: terminal discards, traced and counted."""
+
+    def _manager(self, tracer=None):
+        from repro.core.staystream import StayStreamManager
+        from repro.obs.tracer import NULL_TRACER
+        from repro.sim.clock import SimClock
+        from repro.storage.device import Device
+        from repro.storage.vfs import VFS
+
+        clock = SimClock()
+        device = Device(DeviceSpec.hdd("d0"))
+        vfs = VFS()
+        if tracer is not None:
+            tracer.bind_clock(clock)
+        mgr = StayStreamManager(
+            clock, vfs, device, small_fastbfs_config(),
+            tracer=tracer if tracer is not None else NULL_TRACER,
+        )
+        return mgr, vfs
+
+    def _edges(self, n):
+        from repro.graph.types import make_edges
+
+        idx = np.arange(n, dtype=np.uint32)
+        return make_edges(idx, idx)
+
+    def test_finalize_discards_every_outstanding_writer(self):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        mgr, vfs = self._manager(tracer=tracer)
+        with tracer.span("query"):
+            for p in (0, 1):
+                mgr.open(p, iteration=1)
+                mgr.append(p, self._edges(40))
+                mgr.finish_partition(p)
+            mgr.open(2, iteration=1)  # still current, not yet finished
+            mgr.append(2, self._edges(8))
+            mgr.finalize()
+        assert mgr.stats.end_of_run_discards == 3
+        assert mgr.pending_partitions == {}
+        assert mgr.current(2) is None
+        # Discarded stay files are gone from the namespace.
+        assert [n for n in vfs.names() if n.startswith("stay:")] == []
+        cancels = [s for s in tracer.spans if s.name == "stay_cancel"]
+        assert len(cancels) == 3
+        assert all(s.attrs["end_of_run"] is True for s in cancels)
+        assert all(s.attrs["reason"] == "end_of_run" for s in cancels)
+
+    def test_finalize_on_empty_manager_is_a_noop(self):
+        mgr, _ = self._manager()
+        mgr.finalize()
+        assert mgr.stats.end_of_run_discards == 0
+        assert mgr.stats.cancellations == 0
+
+    def test_run_reconciles_cancellations_with_spans(self, rmat12):
+        """StayStats.cancellations == mid-run stay_cancel spans, and
+        end-of-run discards are traced separately — the two countings
+        always agree with the extras the engine reports."""
+        from repro.obs.tracer import Tracer
+
+        root = hub_root(rmat12)
+        machine = slow_stay_disk_machine()
+        machine.attach_tracer(Tracer())
+        engine = FastBFSEngine(
+            small_fastbfs_config(
+                cancellation_grace=0.0, num_stay_buffers=64, stay_disk=1
+            )
+        )
+        result = engine.run(rmat12, machine, root=root)
+        assert result.extras["stay_cancellations"] > 0
+        cancels = [s for s in machine.tracer.spans if s.name == "stay_cancel"]
+        mid_run = [s for s in cancels if s.attrs["end_of_run"] is False]
+        end_of_run = [s for s in cancels if s.attrs["end_of_run"] is True]
+        assert len(mid_run) == result.extras["stay_cancellations"]
+        assert len(end_of_run) == result.extras["stay_end_of_run_discards"]
+        assert {s.attrs["reason"] for s in mid_run} <= {
+            "not_ready", "write_failure", "checksum_mismatch"
+        }
+        assert np.array_equal(result.levels, bfs_levels(rmat12, root))

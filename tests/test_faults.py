@@ -1,0 +1,495 @@
+"""Unit tests for deterministic fault injection and the recovery layers.
+
+Covers the plan/spec/injector contracts, the stream-layer retry loop, the
+stay-file integrity fallback, crash/resume through QuerySession.recover,
+and the chaos harness built on all of it.
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import fresh_machine, hub_root, small_fastbfs_config
+
+from repro.algorithms.reference import bfs_levels
+from repro.core.engine import FastBFSEngine
+from repro.errors import (
+    ConfigError,
+    CrashError,
+    EngineError,
+    IOFaultError,
+    OutOfSpaceError,
+    PersistentIOError,
+    TransientIOError,
+)
+from repro.obs.counters import CounterRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.clock import SimClock
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    submit_with_retry,
+)
+from repro.storage.machine import Machine
+from repro.storage.streams import AsyncStreamWriter, StreamReader, StreamWriter
+from repro.storage.vfs import VFS
+from repro.utils.units import MB
+
+
+def edges_of(n, start=0):
+    from repro.graph.types import make_edges
+
+    idx = np.arange(start, start + n, dtype=np.uint32)
+    return make_edges(idx, idx)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="gremlins")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="transient_error", probability=1.5)
+
+    def test_delay_kind_needs_delay(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="latency")
+
+    def test_torn_write_rejects_read_filter(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="torn_write", io_kind="read")
+
+    def test_write_only_kinds_skip_reads_implicitly(self):
+        spec = FaultSpec(kind="torn_write")
+        assert not spec.matches("d", "read", "stay", 0)
+        assert spec.matches("d", "write", "stay", 0)
+
+    def test_crash_point_helper(self):
+        plan = FaultPlan.crash_point(after_index=7, seed=3)
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kind == "crash"
+        assert plan.specs[0].max_fires == 1
+        assert plan.seed == 3
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_multiplier=0.5)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.01,
+                             backoff_multiplier=2.0)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(3) == pytest.approx(0.04)
+
+
+class TestFaultInjector:
+    def _submit_all(self, injector, count=40):
+        """Submit ``count`` reads through a faulted device; return the
+        indices at which a transient fault fired."""
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = injector
+        fired = []
+        for i in range(count):
+            try:
+                device.submit(0.0, "read", 100, file_id=1, offset=i * 100,
+                              group="edges:p0")
+            except TransientIOError:
+                fired.append(i)
+        return fired
+
+    def test_same_plan_same_seed_same_schedule(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", probability=0.3),),
+            seed=42,
+        )
+        a = self._submit_all(FaultInjector(plan, clock=SimClock()))
+        b = self._submit_all(FaultInjector(plan, clock=SimClock()))
+        assert a == b
+        assert a  # the schedule actually fires at p=0.3 over 40 requests
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(kind="transient_error", probability=0.3)
+        a = self._submit_all(
+            FaultInjector(FaultPlan(specs=(spec,), seed=1), clock=SimClock())
+        )
+        b = self._submit_all(
+            FaultInjector(FaultPlan(specs=(spec,), seed=2), clock=SimClock())
+        )
+        assert a != b
+
+    def test_max_fires_budget(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", max_fires=2),), seed=0
+        )
+        fired = self._submit_all(FaultInjector(plan, clock=SimClock()))
+        assert fired == [0, 1]
+
+    def test_after_index_offsets_the_schedule(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", after_index=5,
+                             max_fires=1),),
+            seed=0,
+        )
+        fired = self._submit_all(FaultInjector(plan, clock=SimClock()))
+        assert fired == [5]
+
+    def test_budgets_survive_snapshot_restore(self):
+        """restore() rewinds the schedule position, never the fire budget:
+        a consumed one-shot fault does not re-fire after recovery."""
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", after_index=3,
+                             max_fires=1),),
+            seed=0,
+        )
+        injector = FaultInjector(plan, clock=SimClock())
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = injector
+        snap = injector.snapshot()
+        raises = 0
+        for _ in range(2):  # original run, then the replay after restore
+            for i in range(8):
+                try:
+                    device.submit(0.0, "read", 10, file_id=1, offset=0,
+                                  group="g")
+                except TransientIOError:
+                    raises += 1
+            injector.restore(snap)
+        assert raises == 1
+        assert injector.total("fault_transient_error") == 1
+
+    def test_persistent_fault_raises_typed(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="persistent_error", max_fires=1),), seed=0
+        )
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = FaultInjector(plan, clock=SimClock())
+        with pytest.raises(PersistentIOError):
+            device.submit(0.0, "write", 10, file_id=1, offset=0, group="g")
+
+    def test_latency_fault_inflates_service_time(self):
+        device = Device(DeviceSpec("d0", seek_time=0.0, read_bandwidth=MB,
+                                   write_bandwidth=MB))
+        clean = device.submit(0.0, "read", 1000, file_id=1, offset=0,
+                              group="g")
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="latency", delay_seconds=0.5),), seed=0
+        )
+        slow_dev = Device(DeviceSpec("d0", seek_time=0.0, read_bandwidth=MB,
+                                     write_bandwidth=MB))
+        slow_dev.injector = FaultInjector(plan, clock=SimClock())
+        slow = slow_dev.submit(0.0, "read", 1000, file_id=1, offset=0,
+                               group="g")
+        assert slow.end - slow.start == pytest.approx(
+            (clean.end - clean.start) + 0.5
+        )
+
+    def test_out_of_space_fault_uses_the_choke_point(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="out_of_space", max_fires=1),), seed=0
+        )
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = FaultInjector(plan, clock=SimClock())
+        with pytest.raises(OutOfSpaceError) as exc_info:
+            device.submit(0.0, "write", 10, file_id=1, offset=0, group="g")
+        assert "'d0'" in str(exc_info.value)
+
+
+class TestRetryLoop:
+    def _setup(self, plan):
+        clock = SimClock()
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = FaultInjector(plan, clock=clock)
+        vfs = VFS()
+        f = vfs.create("f", device)
+        f.append_records(edges_of(100))
+        f.seal()
+        return clock, device, f
+
+    def test_retries_absorb_transients(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", max_fires=2),), seed=0
+        )
+        clock, device, f = self._setup(plan)
+        req = submit_with_retry(
+            clock, f, kind="read", nbytes=f.nbytes, offset=0, group="g",
+            retry=RetryPolicy(max_attempts=4),
+        )
+        assert req.nbytes == f.nbytes
+        assert device.injector.total("io_retries") == 2
+        assert device.injector.total("io_giveups") == 0
+        assert clock.iowait_time > 0  # backoff landed in the iowait ledger
+
+    def test_exhaustion_raises_io_fault_error(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error"),), seed=0  # always fails
+        )
+        clock, device, f = self._setup(plan)
+        with pytest.raises(IOFaultError):
+            submit_with_retry(
+                clock, f, kind="read", nbytes=f.nbytes, offset=0, group="g",
+                retry=RetryPolicy(max_attempts=3),
+            )
+        assert device.injector.total("io_retries") == 2
+        assert device.injector.total("io_giveups") == 1
+
+    def test_no_policy_means_single_attempt(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", max_fires=1),), seed=0
+        )
+        clock, device, f = self._setup(plan)
+        with pytest.raises(IOFaultError):
+            submit_with_retry(
+                clock, f, kind="read", nbytes=f.nbytes, offset=0, group="g",
+                retry=None,
+            )
+
+    def test_persistent_error_passes_straight_through(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="persistent_error", max_fires=1),), seed=0
+        )
+        clock, device, f = self._setup(plan)
+        with pytest.raises(PersistentIOError):
+            submit_with_retry(
+                clock, f, kind="read", nbytes=f.nbytes, offset=0, group="g",
+                retry=RetryPolicy(max_attempts=5),
+            )
+        assert device.injector.total("io_retries") == 0
+
+    def test_stream_reader_and_writer_take_retry_policy(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", probability=0.3),),
+            seed=7,
+        )
+        clock, device, f_unused = self._setup(plan)
+        vfs = VFS()
+        f = vfs.create("rw", device)
+        retry = RetryPolicy(max_attempts=6)
+        writer = StreamWriter(clock, f, buffer_bytes=256, retry=retry)
+        for i in range(20):
+            writer.append(edges_of(30, start=i * 30))
+        writer.close()
+        reader = StreamReader(clock, f, buffer_bytes=256, retry=retry)
+        got = np.concatenate(list(reader))
+        assert np.array_equal(got, np.concatenate(
+            [edges_of(30, start=i * 30) for i in range(20)]
+        ))
+        assert device.injector.total("io_retries") > 0
+
+
+class TestTornWriteIntegrity:
+    def test_torn_write_detected_by_checksums(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="torn_write", max_fires=1),), seed=0
+        )
+        clock = SimClock()
+        device = Device(DeviceSpec.hdd("d0"))
+        device.injector = FaultInjector(plan, clock=clock)
+        vfs = VFS()
+        f = vfs.create("stay", device)
+        writer = AsyncStreamWriter(clock, f, buffer_bytes=8 * 256,
+                                   num_buffers=4)
+        writer.append(edges_of(200))
+        writer.close(drain=True)
+        assert f.corruptions  # the medium really flipped a byte
+        bad = writer.verify_integrity()
+        assert bad  # and the checksum layer caught it
+
+    def test_clean_writer_verifies_clean(self):
+        clock = SimClock()
+        device = Device(DeviceSpec.hdd("d0"))
+        vfs = VFS()
+        f = vfs.create("stay", device)
+        writer = AsyncStreamWriter(clock, f, buffer_bytes=8 * 256,
+                                   num_buffers=4)
+        writer.append(edges_of(200))
+        writer.close(drain=True)
+        assert writer.verify_integrity() == []
+
+    def test_torn_stay_degrades_to_previous_file(self, rmat10):
+        """Every stay flush torn: swap-ins fail their checksum and the run
+        degrades to the previous edge files — correct, just slower."""
+        root = hub_root(rmat10)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="torn_write", role="stay",
+                             probability=1.0),),
+            seed=0,
+        )
+        machine = Machine([DeviceSpec.hdd("hdd0")], memory=2 * MB, cores=4,
+                          fault_plan=plan)
+        machine.attach_tracer(Tracer())
+        result = FastBFSEngine(small_fastbfs_config()).run(
+            rmat10, machine, root=root
+        )
+        assert np.array_equal(result.levels, bfs_levels(rmat10, root))
+        assert result.extras["stay_integrity_failures"] > 0
+        assert result.extras["stay_swaps"] == 0  # nothing corrupt swapped in
+        mismatches = [
+            s for s in machine.tracer.spans
+            if s.name == "stay_cancel"
+            and s.attrs.get("reason") == "checksum_mismatch"
+        ]
+        assert len(mismatches) == result.extras["stay_integrity_failures"]
+
+    def test_stay_write_failure_degrades_to_previous_file(self, rmat10):
+        """Stay flushes that exhaust their retries mark the writer failed;
+        swap-in degrades with reason=write_failure and stays correct."""
+        root = hub_root(rmat10)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", role="stay",
+                             probability=1.0),),
+            seed=0,
+        )
+        machine = Machine([DeviceSpec.hdd("hdd0")], memory=2 * MB, cores=4,
+                          fault_plan=plan)
+        machine.attach_tracer(Tracer())
+        result = FastBFSEngine(
+            small_fastbfs_config(retry=RetryPolicy(max_attempts=1))
+        ).run(rmat10, machine, root=root)
+        assert np.array_equal(result.levels, bfs_levels(rmat10, root))
+        assert result.extras["stay_write_failures"] > 0
+        assert result.extras["stay_swaps"] == 0
+        failures = [
+            s for s in machine.tracer.spans
+            if s.name == "stay_cancel"
+            and s.attrs.get("reason") == "write_failure"
+        ]
+        assert len(failures) == result.extras["stay_write_failures"]
+
+
+class TestCrashRecovery:
+    def _machine(self, plan=None):
+        return Machine([DeviceSpec.hdd("hdd0")], memory=2 * MB, cores=4,
+                       fault_plan=plan)
+
+    def test_crash_and_recover_bit_identical(self, rmat10):
+        root = hub_root(rmat10)
+        baseline = FastBFSEngine(small_fastbfs_config()).run(
+            rmat10, self._machine(), root=root
+        )
+        machine = self._machine(FaultPlan.crash_point(after_index=80))
+        machine.attach_tracer(Tracer())
+        engine = FastBFSEngine(small_fastbfs_config())
+        staged = engine.stage(rmat10, machine)
+        session = engine.session(staged)
+        with pytest.raises(CrashError):
+            session.run(root=root)
+        result = session.recover()
+        assert np.array_equal(result.levels, baseline.levels)
+        assert result.extras["recovered"] == 1.0
+        injector = machine.fault_injector
+        assert injector.total("fault_crash") == 1
+        assert injector.total("crash_recoveries") == 1
+        names = [s.name for s in machine.tracer.spans]
+        assert names.count("crash") == 1
+        assert names.count("recover") == 1
+
+    def test_recover_without_crash_is_an_error(self, rmat10):
+        machine = self._machine(FaultPlan(seed=0))
+        engine = FastBFSEngine(small_fastbfs_config())
+        staged = engine.stage(rmat10, machine)
+        session = engine.session(staged)
+        with pytest.raises(EngineError):
+            session.recover()
+
+    def test_recover_needs_a_fault_injector(self, rmat10):
+        """Without a fault plan no entry checkpoint is taken, so recover()
+        refuses instead of restoring garbage."""
+        machine = self._machine()
+        engine = FastBFSEngine(small_fastbfs_config())
+        staged = engine.stage(rmat10, machine)
+        session = engine.session(staged)
+        session._crashed = (0, None)  # simulate an externally-raised crash
+        with pytest.raises(EngineError):
+            session.recover()
+
+    def test_crash_during_monolithic_run_propagates(self, rmat10):
+        machine = self._machine(FaultPlan.crash_point(after_index=80))
+        with pytest.raises(CrashError):
+            FastBFSEngine(small_fastbfs_config()).run(
+                rmat10, machine, root=hub_root(rmat10)
+            )
+
+
+class TestFaultObservability:
+    def test_registry_samples_injector_counters(self, rmat10):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient_error", probability=0.05),),
+            seed=5,
+        )
+        machine = Machine([DeviceSpec.hdd("hdd0")], memory=2 * MB, cores=4,
+                          fault_plan=plan)
+        machine.attach_tracer(Tracer())
+        FastBFSEngine(small_fastbfs_config()).run(
+            rmat10, machine, root=hub_root(rmat10)
+        )
+        injector = machine.fault_injector
+        assert injector.faults_injected > 0
+        registry = CounterRegistry.from_machine(machine)
+        assert registry.get("fault_transient_error_total", device="hdd0") == (
+            float(injector.total("fault_transient_error"))
+        )
+        assert registry.total("io_retries_total") == float(
+            injector.total("io_retries")
+        )
+        retry_spans = [
+            s for s in machine.tracer.spans if s.name == "io_retry"
+        ]
+        assert len(retry_spans) == injector.total("io_retries")
+        # Each injected transient raise becomes exactly one retry or one
+        # give-up — the counters tie out.
+        assert injector.total("fault_transient_error") == (
+            injector.total("io_retries") + injector.total("io_giveups")
+        )
+
+    def test_run_bfs_accepts_a_fault_plan(self, rmat10):
+        from repro.api import run_bfs
+
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="latency", probability=0.2,
+                             delay_seconds=0.01),),
+            seed=1,
+        )
+        result = run_bfs(rmat10, engine="fastbfs",
+                         config=small_fastbfs_config(),
+                         memory=2 * MB, fault_plan=plan)
+        assert np.array_equal(result.levels, bfs_levels(rmat10, 0))
+
+    def test_run_bfs_rejects_fault_plan_with_explicit_machine(self, rmat10):
+        from repro.api import run_bfs
+
+        with pytest.raises(ConfigError):
+            run_bfs(rmat10, machine=fresh_machine(),
+                    fault_plan=FaultPlan(seed=0))
+
+
+class TestChaosHarness:
+    def test_smoke_sweep_is_clean(self):
+        from repro.tooling.chaos import run_chaos
+
+        report = run_chaos("smoke", seed=0, trials=8)
+        assert report.ok
+        assert len(report.trials) == 8
+        outcomes = report.outcome_counts()
+        assert outcomes.get("violation", 0) == 0
+        # The sweep actually injected faults somewhere.
+        assert sum(t.faults_injected for t in report.trials) > 0
+
+    def test_sweep_is_deterministic(self):
+        from repro.tooling.chaos import run_chaos
+
+        a = run_chaos("smoke", seed=3, trials=6)
+        b = run_chaos("smoke", seed=3, trials=6)
+        assert [(t.outcome, t.detail, t.faults_injected, t.retries,
+                 t.recoveries) for t in a.trials] == [
+            (t.outcome, t.detail, t.faults_injected, t.retries, t.recoveries)
+            for t in b.trials
+        ]
+
+    def test_unknown_profile_rejected(self):
+        from repro.tooling.chaos import run_chaos
+
+        with pytest.raises(ConfigError):
+            run_chaos("hurricane")

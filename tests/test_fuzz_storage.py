@@ -135,3 +135,84 @@ def test_device_service_times_positive_and_additive(sizes, kinds):
     assert device.bytes_read + device.bytes_written == sum(
         n for n, _ in submitted
     )
+
+
+# ----------------------------------------------------------------------
+# fault-injection determinism (same seed + same plan => same everything)
+# ----------------------------------------------------------------------
+
+_FAULT_FUZZ_SEEDS = range(20)
+
+
+def _fault_fuzz_graph():
+    from repro.graph.generators import rmat_graph
+
+    return rmat_graph(scale=8, edge_factor=8, seed=3)
+
+
+def _faulted_run(seed):
+    """One FastBFS run under a seeded fault plan; returns every observable."""
+    from repro.core.config import FastBFSConfig
+    from repro.core.engine import FastBFSEngine
+    from repro.obs.counters import CounterRegistry
+    from repro.obs.exporters import spans_to_jsonl
+    from repro.obs.tracer import Tracer
+    from repro.storage.faults import FaultPlan, FaultSpec, RetryPolicy
+    from repro.storage.machine import Machine
+    from repro.utils.units import KB
+
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(kind="transient_error", probability=0.05),
+            FaultSpec(kind="latency", probability=0.05, delay_seconds=0.004),
+            FaultSpec(kind="torn_write", role="stay", probability=0.4,
+                      max_fires=2),
+        ),
+        seed=seed,
+    )
+    machine = Machine(
+        [DeviceSpec.hdd("hdd0")], memory=2 * MB, cores=4, fault_plan=plan
+    )
+    machine.attach_tracer(Tracer())
+    engine = FastBFSEngine(
+        FastBFSConfig(
+            edge_buffer_bytes=2 * KB,
+            update_buffer_bytes=1 * KB,
+            stay_buffer_bytes=1 * KB,
+            num_partitions=4,
+            allow_in_memory=False,
+            retry=RetryPolicy(max_attempts=4),
+        )
+    )
+    result = engine.run(_fault_fuzz_graph(), machine, root=0)
+    report = machine.report()
+    counters = CounterRegistry.from_machine(machine).as_dict()
+    return result.levels, report, spans_to_jsonl(machine.tracer), counters
+
+
+@pytest.mark.parametrize("seed", _FAULT_FUZZ_SEEDS)
+def test_fault_plan_replays_bit_identically(seed):
+    """Same seed + same FaultPlan => byte-identical IOReport, identical
+    span trace (retries included), identical fault/retry counters."""
+    levels_a, report_a, trace_a, counters_a = _faulted_run(seed)
+    levels_b, report_b, trace_b, counters_b = _faulted_run(seed)
+    assert np.array_equal(levels_a, levels_b)
+    assert report_a == report_b
+    assert trace_a == trace_b
+    assert counters_a == counters_b
+
+
+def test_fault_seeds_vary_the_schedule():
+    """Different seeds actually draw different fault schedules — the fuzz
+    above is not vacuously comparing fault-free runs."""
+    injected = set()
+    retried = 0
+    for seed in _FAULT_FUZZ_SEEDS:
+        _, _, trace, counters = _faulted_run(seed)
+        injected.add(trace)
+        retried += sum(
+            v for (name, _), v in counters.items()
+            if name == "io_retries_total"
+        )
+    assert len(injected) == len(list(_FAULT_FUZZ_SEEDS))  # all distinct
+    assert retried > 0  # the retry loop really ran across the sweep

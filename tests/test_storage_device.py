@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import OutOfSpaceError, StorageError
 from repro.storage.device import Device, DeviceSpec
 from repro.utils.units import MB
 
@@ -101,3 +101,58 @@ class TestDeviceTiming:
         dev.submit(0.0, "read", 100 * MB, file_id=1, offset=0)
         assert dev.busy_time_until(0.5) == pytest.approx(0.5)
         assert dev.busy_time_until(2.0) == pytest.approx(1.0)
+
+
+class TestDeviceCapacity:
+    def _device(self, capacity=None):
+        return Device(
+            DeviceSpec("d0", seek_time=0.0, read_bandwidth=MB,
+                       write_bandwidth=MB, capacity=capacity)
+        )
+
+    def test_unbounded_by_default(self):
+        dev = self._device()
+        assert dev.available_bytes is None
+        dev.reserve(10**12)  # never raises without a capacity
+        assert dev.used_bytes == 10**12
+
+    def test_reserve_and_release(self):
+        dev = self._device(capacity=1000)
+        dev.reserve(400)
+        assert dev.used_bytes == 400
+        assert dev.available_bytes == 600
+        dev.release(150)
+        assert dev.used_bytes == 250
+        dev.release(10**6)  # clamped, never negative
+        assert dev.used_bytes == 0
+
+    def test_out_of_space_message_names_device_and_sizes(self):
+        """The single choke point reports device, requested and available."""
+        dev = self._device(capacity=100)
+        dev.reserve(40)
+        with pytest.raises(OutOfSpaceError) as exc_info:
+            dev.reserve(200)
+        msg = str(exc_info.value)
+        assert "'d0'" in msg
+        assert "200 bytes" in msg  # requested
+        assert "60 bytes" in msg  # available
+        assert dev.used_bytes == 40  # failed reserve charges nothing
+
+    def test_out_of_space_is_a_storage_error(self):
+        dev = self._device(capacity=1)
+        with pytest.raises(StorageError):
+            dev.reserve(2)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            DeviceSpec("d", seek_time=0.0, read_bandwidth=1,
+                       write_bandwidth=1, capacity=0)
+
+    def test_used_bytes_survive_snapshot_restore(self):
+        dev = self._device(capacity=1000)
+        dev.reserve(300)
+        snap = dev.snapshot()
+        dev.reserve(500)
+        dev.restore(snap)
+        assert dev.used_bytes == 300
+        assert dev.available_bytes == 700

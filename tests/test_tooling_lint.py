@@ -201,6 +201,46 @@ class TestEngineDebugIORule:
         assert lint_source("import time  # noqa: FB108\n", CORE_PATH) == []
 
 
+class TestBroadExceptRule:
+    ENGINES_PATH = "src/repro/engines/fake.py"
+
+    def test_bare_except_flagged_in_engines(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        out = lint_source(src, self.ENGINES_PATH)
+        assert codes(out) == ["FB109"]
+        assert out[0].line == 3
+
+    def test_except_exception_flagged_in_core(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert codes(lint_source(src, CORE_PATH)) == ["FB109"]
+
+    def test_except_base_exception_flagged(self):
+        src = "try:\n    f()\nexcept BaseException as exc:\n    raise exc\n"
+        assert codes(lint_source(src, self.ENGINES_PATH)) == ["FB109"]
+
+    def test_broad_name_in_tuple_clause_flagged(self):
+        src = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        assert codes(lint_source(src, self.ENGINES_PATH)) == ["FB109"]
+
+    def test_typed_repro_error_clean(self):
+        src = (
+            "from repro.errors import CrashError, EngineError\n"
+            "try:\n    f()\nexcept CrashError:\n    pass\n"
+            "try:\n    f()\nexcept (EngineError, CrashError) as exc:\n"
+            "    raise exc\n"
+        )
+        assert lint_source(src, self.ENGINES_PATH) == []
+
+    def test_allowed_outside_engine_layer(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert lint_source(src, OTHER_PATH) == []
+        assert lint_source(src, STORAGE_PATH) == []
+
+    def test_noqa_suppresses(self):
+        src = "try:\n    f()\nexcept Exception:  # noqa: FB109\n    pass\n"
+        assert lint_source(src, self.ENGINES_PATH) == []
+
+
 class TestSuppression:
     def test_blanket_noqa(self):
         src = "import time\nt = time.time()  # noqa\n"
@@ -227,7 +267,7 @@ class TestHarness:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {
             "FB101", "FB102", "FB103", "FB104", "FB105", "FB106", "FB107",
-            "FB108",
+            "FB108", "FB109",
         }
 
     def test_repo_source_tree_is_clean(self):
