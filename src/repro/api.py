@@ -187,3 +187,22 @@ def run_queries(
     batch = eng.run_many(graph, machine, roots=roots)
     export_observability(machine, batch, trace_path, metrics_path)
     return batch
+
+
+def analyze_tree(
+    paths: Sequence[str] = ("src/repro",),
+    baseline_path: Optional[str] = None,
+):
+    """Run the whole-program static analyzer (rules FB2xx) over ``paths``.
+
+    Returns an :class:`~repro.tooling.analyzer.AnalysisResult` whose
+    ``findings`` are already ``# noqa``-suppressed and baseline-filtered;
+    ``result.ok`` is the same pass/fail the ``repro analyze`` CLI exits
+    with.  ``baseline_path`` names a committed ``fastbfs-baseline/1``
+    file of intentionally-accepted findings (see docs/static_analysis.md).
+    """
+    from repro.tooling.analyzer import analyze_paths
+    from repro.tooling.report import Baseline
+
+    baseline = Baseline.load(baseline_path) if baseline_path else None
+    return analyze_paths(list(paths), baseline=baseline)

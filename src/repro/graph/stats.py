@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
+from repro.utils.rng import rng_from_seed
 
 
 @dataclass
@@ -96,7 +97,7 @@ def effective_diameter(
     else:
         csr = CSRGraph.from_graph(graph)
         n = graph.num_vertices
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     out_deg = csr.indptr[1:] - csr.indptr[:-1]
     candidates = np.flatnonzero(out_deg > 0)
     if len(candidates) == 0:

@@ -188,7 +188,7 @@ def collect_snapshot(
 def snapshot_files(root: str = ".") -> List[Tuple[int, str]]:
     """(seq, path) for every ``BENCH_<seq>.json`` under ``root``, sorted."""
     out: List[Tuple[int, str]] = []
-    for entry in os.listdir(root):
+    for entry in sorted(os.listdir(root)):
         m = SNAPSHOT_PATTERN.match(entry)
         if m:
             out.append((int(m.group(1)), os.path.join(root, entry)))

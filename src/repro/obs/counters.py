@@ -391,7 +391,7 @@ def diff_registries(
     """Per-series ``after - before`` deltas, dropping exact zeros."""
     keys = set(before.as_dict()) | set(after.as_dict())
     out: Dict[CounterKey, float] = {}
-    for key in keys:
+    for key in sorted(keys):
         delta = after.as_dict().get(key, 0.0) - before.as_dict().get(key, 0.0)
         if delta:
             out[key] = delta

@@ -1,0 +1,8 @@
+"""``python -m repro.tooling.analyzer`` entry point."""
+
+import sys
+
+from repro.tooling.analyzer.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

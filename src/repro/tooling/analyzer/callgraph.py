@@ -1,0 +1,348 @@
+"""Conservative call graph over the project symbol table.
+
+Resolution is tiered, most-precise first:
+
+1. **Typed receivers** — ``self`` calls, locals assigned from a project
+   class constructor, parameters annotated with a project class, and
+   ``self.attr`` / ``x.attr`` receivers whose type is known from an
+   ``__init__`` assignment anywhere in the project (``self.clock =
+   SimClock()`` teaches the analyzer that any ``.clock`` attribute is a
+   ``SimClock``).
+2. **Module-qualified calls** — ``mod.func(...)`` through an import alias.
+3. **Class-qualified calls** — ``Device.submit(instance, ...)``.
+4. **Name-match fallback** — an attribute call whose receiver type is
+   unknown resolves to *every* project method of that name, unless the
+   name collides with a common builtin-container/str method (``.get``,
+   ``.replace``, ``.items``, ...), where matching everything would drown
+   the graph in false edges.  The fallback over-approximates (sound for
+   the effect rules) at the cost of precision; the typed tiers keep the
+   noise low where it matters.
+
+Calls inside nested functions are attributed to the enclosing
+module-level function or method — a deliberate over-approximation that
+keeps closures from hiding effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.tooling.analyzer.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+#: Attribute-call names too generic for the name-match fallback: they are
+#: methods of builtin str/dict/list/set types, so an untyped receiver is
+#: far more likely a builtin than a project class.  Typed receivers still
+#: resolve these precisely (e.g. ``machine.vfs.replace`` via attr types).
+COMMON_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "copy", "count", "extend", "format", "get",
+        "index", "insert", "items", "join", "keys", "pop", "popitem",
+        "read", "remove", "replace", "set", "sort", "split", "strip",
+        "update", "values", "write",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at a location."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    col: int
+    via: str  # "typed" | "module" | "class" | "name-match" | "direct"
+
+
+@dataclass
+class CallGraph:
+    """Edges and call sites over function qualnames."""
+
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    def callees(self, qualname: str) -> List[str]:
+        return self.edges.get(qualname, [])
+
+    def callers_of(self, callee: str) -> List[CallSite]:
+        return sorted(
+            (s for s in self.sites if s.callee == callee),
+            key=lambda s: (s.path, s.line, s.col, s.caller),
+        )
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    attr_types = _collect_attr_types(table)
+    graph = CallGraph()
+    for func in table.sorted_functions():
+        resolver = _CallResolver(table, attr_types, func)
+        callees: Set[str] = set()
+        for site in resolver.resolve_calls():
+            graph.sites.append(site)
+            callees.add(site.callee)
+        graph.edges[func.qualname] = sorted(callees)
+    graph.sites.sort(key=lambda s: (s.path, s.line, s.col, s.caller, s.callee))
+    return graph
+
+
+def _collect_attr_types(table: SymbolTable) -> Dict[str, Set[str]]:
+    """attr name -> class qualnames it is known to hold, project-wide.
+
+    Three sources teach the analyzer what an attribute is:
+
+    * ``self.clock = SimClock()`` in any ``__init__`` (constructor call);
+    * ``machine: Machine`` annotated class fields (dataclasses);
+    * ``self.machine = machine`` in ``__init__`` where the parameter is
+      annotated with a project class.
+
+    Receivers reached through an attribute of that name then resolve
+    methods against those classes (only when the name is unambiguous).
+    """
+    attr_types: Dict[str, Set[str]] = {}
+    # Annotated class fields (dataclass style).
+    for cls_qual in sorted(table.classes):
+        cls = table.classes[cls_qual]
+        module = table.modules.get(cls.module)
+        if module is None:
+            continue
+        for stmt in cls.node.body:  # type: ignore[attr-defined]
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                target_cls = _annotation_class_expr(table, module, stmt.annotation)
+                if target_cls is not None:
+                    attr_types.setdefault(stmt.target.id, set()).add(target_cls)
+    # __init__ assignments.
+    for qualname in sorted(table.functions):
+        func = table.functions[qualname]
+        if func.name != "__init__" or func.class_qualname is None:
+            continue
+        module = table.modules.get(func.module)
+        if module is None:
+            continue
+        param_types: Dict[str, str] = {}
+        args = getattr(func.node, "args", None)
+        if args is not None:
+            for param in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if param.annotation is None:
+                    continue
+                cls_qual = _annotation_class_expr(table, module, param.annotation)
+                if cls_qual is not None:
+                    param_types[param.arg] = cls_qual
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            cls_qual = None
+            if isinstance(node.value, ast.Call):
+                cls_qual = _resolve_class_expr(table, module, node.value.func)
+            elif isinstance(node.value, ast.Name):
+                cls_qual = param_types.get(node.value.id)
+            if cls_qual is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr_types.setdefault(target.attr, set()).add(cls_qual)
+    return attr_types
+
+
+def _annotation_class_expr(
+    table: SymbolTable, module: ModuleInfo, ann: ast.expr
+) -> Optional[str]:
+    """Project class named by an annotation (unwraps Optional/str forms)."""
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        name = ann.value.split(".")[-1].strip()
+        matches = table.classes_by_name(name)
+        return matches[0].qualname if len(matches) == 1 else None
+    if isinstance(ann, (ast.Name, ast.Attribute)):
+        return _resolve_class_expr(table, module, ann)
+    if isinstance(ann, ast.Subscript):
+        return _annotation_class_expr(table, module, ann.slice)
+    return None
+
+
+def _resolve_class_expr(
+    table: SymbolTable, module: ModuleInfo, expr: ast.expr
+) -> Optional[str]:
+    """Qualname of the project class an expression names, if any."""
+    if isinstance(expr, ast.Name):
+        target = module.imports.get(expr.id, f"{module.name}.{expr.id}")
+        return target if target in table.classes else None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        base = module.imports.get(expr.value.id)
+        if base is not None:
+            target = f"{base}.{expr.attr}"
+            return target if target in table.classes else None
+    return None
+
+
+class _CallResolver:
+    """Resolves every call inside one function body."""
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        attr_types: Dict[str, Set[str]],
+        func: FunctionInfo,
+    ) -> None:
+        self.table = table
+        self.attr_types = attr_types
+        self.func = func
+        self.module = table.modules.get(func.module)
+        #: local variable -> class qualname (flow-insensitive, last wins)
+        self.local_types: Dict[str, str] = {}
+        if func.class_qualname is not None:
+            self.local_types["self"] = func.class_qualname
+        self._seed_param_types()
+
+    def _seed_param_types(self) -> None:
+        args = getattr(self.func.node, "args", None)
+        if args is None or self.module is None:
+            return
+        all_params = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ]
+        for param in all_params:
+            if param.annotation is None:
+                continue
+            cls_qual = self._annotation_class(param.annotation)
+            if cls_qual is not None:
+                self.local_types[param.arg] = cls_qual
+
+    def _annotation_class(self, ann: ast.expr) -> Optional[str]:
+        if self.module is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            # String annotation: match by simple class name, unambiguous only.
+            name = ann.value.split(".")[-1].strip()
+            matches = self.table.classes_by_name(name)
+            return matches[0].qualname if len(matches) == 1 else None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            return _resolve_class_expr(self.table, self.module, ann)
+        if isinstance(ann, ast.Subscript):  # Optional[X] / List[X]
+            return self._annotation_class(ann.slice)
+        return None
+
+    # ------------------------------------------------------------------
+    def resolve_calls(self) -> List[CallSite]:
+        body = getattr(self.func.node, "body", [])
+        # First pass: pick up local constructor/typed assignments anywhere
+        # in the body (flow-insensitive).
+        for node in ast.walk(self.func.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = self._infer_expr_type(node.value)
+                    if inferred is not None:
+                        self.local_types[target.id] = inferred
+        sites: List[CallSite] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    sites.extend(self._resolve_call(node))
+        return sites
+
+    def _infer_expr_type(self, expr: ast.expr) -> Optional[str]:
+        if self.module is None:
+            return None
+        if isinstance(expr, ast.Call):
+            return _resolve_class_expr(self.table, self.module, expr.func)
+        if isinstance(expr, ast.Attribute):
+            classes = self.attr_types.get(expr.attr)
+            if classes is not None and len(classes) == 1:
+                return next(iter(classes))
+        return None
+
+    def _receiver_type(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            # Attribute chains resolve through the project-wide attr-name
+            # map (``self.clock = SimClock()`` => any ``.clock`` receiver
+            # is a SimClock), but only when the name is unambiguous.
+            classes = self.attr_types.get(expr.attr, set())
+            if len(classes) == 1:
+                return next(iter(classes))
+        if isinstance(expr, ast.Call):
+            return self._infer_expr_type(expr)
+        return None
+
+    def _site(self, node: ast.Call, callee: str, via: str) -> CallSite:
+        return CallSite(
+            caller=self.func.qualname,
+            callee=callee,
+            path=self.func.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            via=via,
+        )
+
+    def _resolve_call(self, node: ast.Call) -> List[CallSite]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(node, func)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attr_call(node, func)
+        return []
+
+    def _resolve_name_call(self, node: ast.Call, func: ast.Name) -> List[CallSite]:
+        if self.module is None:
+            return []
+        target = self.module.imports.get(func.id, f"{self.func.module}.{func.id}")
+        if target in self.table.functions:
+            return [self._site(node, target, "direct")]
+        if target in self.table.classes:
+            init = self.table.resolve_method(target, "__init__")
+            if init is not None:
+                return [self._site(node, init, "direct")]
+        return []
+
+    def _resolve_attr_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> List[CallSite]:
+        method = func.attr
+        # Tier 1: typed receiver.
+        recv_type = self._receiver_type(func.value)
+        if recv_type is not None:
+            resolved = self.table.resolve_method(recv_type, method)
+            if resolved is not None:
+                return [self._site(node, resolved, "typed")]
+            return []  # known type without that method: a builtin/ndarray op
+        if self.module is not None and isinstance(func.value, ast.Name):
+            base = self.module.imports.get(func.value.id)
+            if base is not None:
+                # Tier 2: module-qualified function.
+                target = f"{base}.{method}"
+                if target in self.table.functions:
+                    return [self._site(node, target, "module")]
+                if target in self.table.classes:
+                    init = self.table.resolve_method(target, "__init__")
+                    if init is not None:
+                        return [self._site(node, init, "module")]
+                # Tier 3: class-qualified (imported class) method.
+                if base in self.table.classes:
+                    resolved = self.table.resolve_method(base, method)
+                    if resolved is not None:
+                        return [self._site(node, resolved, "class")]
+            # Same-module class reference: ``Device.submit(...)``.
+            local_cls = f"{self.func.module}.{func.value.id}"
+            if local_cls in self.table.classes:
+                resolved = self.table.resolve_method(local_cls, method)
+                if resolved is not None:
+                    return [self._site(node, resolved, "class")]
+        # Tier 4: name-match fallback over all project methods.
+        if method in COMMON_METHOD_NAMES:
+            return []
+        candidates = self.table.methods_by_name.get(method, [])
+        return [self._site(node, callee, "name-match") for callee in candidates]

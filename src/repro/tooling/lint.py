@@ -4,7 +4,11 @@ Generic linters cannot know that this codebase simulates time, or that its
 virtual files must be created through the VFS so leak tracking works.  This
 module encodes those repo rules and is runnable standalone::
 
-    PYTHONPATH=src python -m repro.tooling.lint src/repro
+    PYTHONPATH=src python -m repro.tooling.lint src/repro --format sarif
+
+Findings, ``# noqa`` suppression, output formats (text/JSON/SARIF) and the
+0/1/2 exit-code contract are shared with the whole-program analyzer
+(:mod:`repro.tooling.analyzer`) through :mod:`repro.tooling.report`.
 
 Rules (suppress a line with ``# noqa`` or ``# noqa: FB1xx``):
 
@@ -69,6 +73,22 @@ from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.tooling.report import (
+    EXIT_USAGE,
+    OUTPUT_FORMATS,
+    Finding,
+    exit_code,
+    is_suppressed,
+    render,
+)
+
+#: Lint findings are plain :class:`~repro.tooling.report.Finding` records;
+#: the historical name is kept because tests and callers construct it.
+LintViolation = Finding
+
+#: Tool name reported in JSON/SARIF output.
+TOOL_NAME = "repro.tooling.lint"
+
 #: Simulated-time subsystems where wall-clock reads are forbidden.
 SIM_SUBSYSTEMS = frozenset({"sim", "core", "storage"})
 
@@ -95,20 +115,6 @@ RULES: Dict[str, str] = {
 
 #: Exception names FB109 treats as over-broad in engines/core.
 _BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
-
-
-@dataclass(frozen=True)
-class LintViolation:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
 @dataclass(frozen=True)
@@ -413,21 +419,6 @@ class _Visitor(ast.NodeVisitor):
             )
 
 
-def _suppressed(violation: LintViolation, source_lines: Sequence[str]) -> bool:
-    """Honour ``# noqa`` / ``# noqa: FB101[,FB102]`` on the flagged line."""
-    if violation.line > len(source_lines):
-        return False
-    line = source_lines[violation.line - 1]
-    marker = line.find("# noqa")
-    if marker < 0:
-        return False
-    tail = line[marker + len("# noqa") :].strip()
-    if not tail.startswith(":"):
-        return True  # blanket noqa
-    codes = {c.strip() for c in tail[1:].split(",")}
-    return violation.code in codes
-
-
 def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     """Lint one source string; ``path`` scopes the per-directory rules."""
     ctx = _file_context(path)
@@ -448,7 +439,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     visitor = _Visitor(ctx)
     visitor.visit(tree)
     lines = source.splitlines()
-    return [v for v in visitor.violations if not _suppressed(v, lines)]
+    return [v for v in visitor.violations if not is_suppressed(v, lines)]
 
 
 def _iter_python_files(paths: Iterable[str]) -> Iterable[Path]:
@@ -485,6 +476,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--format",
+        choices=OUTPUT_FORMATS,
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
         for code, summary in sorted(RULES.items()):
@@ -494,13 +497,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if missing:
         for p in missing:
             print(f"error: no such file or directory: {p}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     violations = lint_paths(args.paths)
-    for v in violations:
-        print(v)
-    count = len(violations)
-    print(f"{count} violation(s)" if count else "clean")
-    return 1 if violations else 0
+    report = render(violations, args.fmt, TOOL_NAME, RULES)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+    return exit_code(violations)
 
 
 if __name__ == "__main__":

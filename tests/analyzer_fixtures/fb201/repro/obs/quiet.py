@@ -1,0 +1,13 @@
+"""Suppressed case: the same reach, annotated as intentional."""
+
+from repro.sim.clock import SimClock
+
+
+class QuietWatcher:
+    def __init__(self):
+        self.clock = SimClock()
+        self.events = []
+
+    def record(self, label):  # noqa: FB201
+        self.clock.charge_compute(0.001)
+        self.events.append(label)

@@ -1,0 +1,16 @@
+"""Positive case: observability code that reaches CLOCK_ADVANCE."""
+
+from repro.sim.clock import SimClock
+
+
+class Watcher:
+    def __init__(self):
+        self.clock = SimClock()
+        self.events = []
+
+    def record(self, label):
+        self.clock.charge_compute(0.001)
+        self.events.append(label)
+
+    def peek(self):
+        return list(self.events)

@@ -1,0 +1,12 @@
+"""Fixture stand-in for the simulated clock (named-seed anchor)."""
+
+
+class SimClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def charge_compute(self, seconds):
+        self.now += seconds
+
+    def wait_until(self, when):
+        self.now = max(self.now, when)

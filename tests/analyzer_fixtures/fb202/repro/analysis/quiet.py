@@ -1,0 +1,8 @@
+"""Suppressed case: the same front-door bypass, annotated."""
+
+from repro.engines.base import Engine
+
+
+def also_bad():  # noqa: FB202
+    eng = Engine()
+    return eng.leak_mutation()

@@ -1,0 +1,13 @@
+"""Front-end layer: reaching VFS_MUTATE is allowed only through run()."""
+
+from repro.engines.base import Engine
+
+
+def good_path():
+    eng = Engine()
+    return eng.run()
+
+
+def bad_path():
+    eng = Engine()
+    return eng.leak_mutation()

@@ -1,0 +1,14 @@
+"""An engine whose ``run`` is a sanctioned entry point (barrier)."""
+
+from repro.storage.vfs import VFS
+
+
+class Engine:
+    def __init__(self):
+        self.vfs = VFS()
+
+    def run(self):
+        return self.vfs.create("out.bin")
+
+    def leak_mutation(self):
+        return self.vfs.create("tmp.bin")

@@ -1,0 +1,13 @@
+"""Fixture stand-in for the virtual filesystem (named-seed anchor)."""
+
+
+class VFS:
+    def __init__(self):
+        self.files = {}
+
+    def create(self, name):
+        self.files[name] = []
+        return name
+
+    def delete(self, name):
+        del self.files[name]

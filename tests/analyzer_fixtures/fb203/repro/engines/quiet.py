@@ -1,0 +1,11 @@
+"""Suppressed case: the same rogue call, annotated on the call line."""
+
+from repro.storage.faults import FaultInjector
+
+
+class QuietEngine:
+    def __init__(self):
+        self.injector = FaultInjector()
+
+    def poke(self, request):
+        return self.injector.on_submit(request)  # noqa: FB203

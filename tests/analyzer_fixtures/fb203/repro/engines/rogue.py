@@ -1,0 +1,11 @@
+"""Positive case: fault evaluation outside Device.submit."""
+
+from repro.storage.faults import FaultInjector
+
+
+class RogueEngine:
+    def __init__(self):
+        self.injector = FaultInjector()
+
+    def poke(self, request):
+        return self.injector.on_submit(request)

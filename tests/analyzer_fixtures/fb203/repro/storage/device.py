@@ -1,0 +1,11 @@
+"""The sanctioned choke point: Device.submit may evaluate faults."""
+
+from repro.storage.faults import FaultInjector
+
+
+class Device:
+    def __init__(self):
+        self.injector = FaultInjector()
+
+    def submit(self, request):
+        return self.injector.on_submit(request)

@@ -1,0 +1,10 @@
+"""Fixture stand-in for the fault injector (named-seed anchor)."""
+
+
+class FaultInjector:
+    def __init__(self):
+        self.evaluations = 0
+
+    def on_submit(self, request):
+        self.evaluations += 1
+        return request

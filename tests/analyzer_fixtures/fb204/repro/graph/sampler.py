@@ -1,0 +1,26 @@
+"""Positive + suppressed cases: raw RNG primitives outside utils/rng."""
+
+import random
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+
+
+def sample_bad(n):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, n)
+
+
+def jitter_bad():
+    return random.random()
+
+
+def sample_suppressed(n):
+    rng = np.random.default_rng(0)  # noqa: FB204
+    return rng.integers(0, n)
+
+
+def sample_good(n):
+    rng = rng_from_seed(7)
+    return rng.integers(0, n)

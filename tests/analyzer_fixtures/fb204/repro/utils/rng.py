@@ -1,0 +1,7 @@
+"""The seeded randomness choke point — raw primitives are allowed here."""
+
+import numpy as np
+
+
+def rng_from_seed(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,14 @@
+"""Positive cases: hash-ordered iteration reaching output."""
+
+import os
+
+
+def emit_tags(tags):
+    out = []
+    for tag in set(tags):
+        out.append(tag)
+    return out
+
+
+def emit_listing(root):
+    return [name for name in os.listdir(root)]

@@ -1,0 +1,26 @@
+"""Suppressed + sanctioned cases for order-sensitive iteration."""
+
+import os
+
+
+def emit_tags_suppressed(tags):
+    out = []
+    for tag in set(tags):  # noqa: FB205
+        out.append(tag)
+    return out
+
+
+def emit_sorted(tags, root):
+    ordered = [tag for tag in sorted(set(tags))]
+    files = sorted(os.listdir(root))
+    return ordered, files
+
+
+def emit_mapping(mapping):
+    # dict iteration is insertion-ordered: exempt by design.
+    return [key for key in mapping]
+
+
+def count_only(tags):
+    # len()/membership never observe the order.
+    return len(set(tags))

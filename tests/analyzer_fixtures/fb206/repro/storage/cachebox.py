@@ -1,0 +1,19 @@
+"""Positive case: a snapshot/restore class with an escaping attribute."""
+
+
+class CacheBox:
+    def __init__(self):
+        self.entries = {}
+        self.hits = 0
+
+    def put(self, key, value):
+        self.entries[key] = value
+
+    def touch(self):
+        self.hits += 1
+
+    def snapshot(self):
+        return {"entries": dict(self.entries)}
+
+    def restore(self, state):
+        self.entries = dict(state["entries"])

@@ -1,0 +1,19 @@
+"""Suppressed case: the escaping attribute annotated as intentional."""
+
+
+class QuietBox:
+    def __init__(self):
+        self.entries = {}
+        self.hits = 0
+
+    def put(self, key, value):
+        self.entries[key] = value
+
+    def touch(self):
+        self.hits += 1  # noqa: FB206
+
+    def snapshot(self):
+        return {"entries": dict(self.entries)}
+
+    def restore(self, state):
+        self.entries = dict(state["entries"])

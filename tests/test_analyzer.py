@@ -1,0 +1,342 @@
+"""Unit tests for the analyzer's symbol, call-graph and effect layers."""
+
+from repro.tooling.analyzer.callgraph import COMMON_METHOD_NAMES, build_call_graph
+from repro.tooling.analyzer.effects import (
+    CLOCK_ADVANCE,
+    RNG,
+    WALLCLOCK,
+    format_effect_table,
+    named_seed_table,
+    propagate_effects,
+    scan_pattern_sites,
+    witness_path,
+)
+from repro.tooling.analyzer.symbols import (
+    SymbolTable,
+    module_name_for,
+    subsystem_of,
+)
+
+CLOCK_SRC = (
+    "class SimClock:\n"
+    "    def charge_compute(self, seconds):\n"
+    "        self.now = seconds\n"
+    "\n"
+    "    def wait_until(self, when):\n"
+    "        self.now = when\n"
+)
+
+
+def table_for(sources):
+    return SymbolTable.from_sources(sources)
+
+
+class TestModuleNames:
+    def test_real_tree_anchoring(self):
+        assert module_name_for("src/repro/storage/vfs.py") == "repro.storage.vfs"
+
+    def test_fixture_tree_anchoring(self):
+        path = "tests/analyzer_fixtures/fb201/repro/obs/watch.py"
+        assert module_name_for(path) == "repro.obs.watch"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("src/repro/__init__.py") == "repro"
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_loose_file_falls_back_to_stem(self):
+        assert module_name_for("scripts/tool.py") == "tool"
+
+    def test_subsystem(self):
+        assert subsystem_of("repro.storage.vfs") == "storage"
+        assert subsystem_of("repro.api") == ""
+
+
+class TestSymbolTable:
+    def test_classes_methods_and_functions_registered(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/util.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert "repro.sim.clock.SimClock" in table.classes
+        cls = table.classes["repro.sim.clock.SimClock"]
+        assert cls.methods["charge_compute"] == (
+            "repro.sim.clock.SimClock.charge_compute"
+        )
+        assert "repro.util.helper" in table.functions
+
+    def test_syntax_error_recorded_not_raised(self):
+        table = table_for({"p/repro/bad.py": "def f(:\n"})
+        assert len(table.parse_errors) == 1
+        path, line, _msg = table.parse_errors[0]
+        assert path == "p/repro/bad.py"
+        assert line == 1
+        assert "repro.bad" not in table.modules
+
+    def test_resolve_method_walks_project_bases(self):
+        table = table_for(
+            {
+                "p/repro/engines/base.py": (
+                    "class Base:\n"
+                    "    def stage_partitions(self):\n"
+                    "        return 0\n"
+                ),
+                "p/repro/engines/fast.py": (
+                    "from repro.engines.base import Base\n"
+                    "\n"
+                    "\n"
+                    "class Fast(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.stage_partitions()\n"
+                ),
+            }
+        )
+        resolved = table.resolve_method("repro.engines.fast.Fast", "stage_partitions")
+        assert resolved == "repro.engines.base.Base.stage_partitions"
+
+
+class TestCallGraph:
+    def test_local_constructor_assignment_types_receiver(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/core/step.py": (
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "def advance():\n"
+                    "    clock = SimClock()\n"
+                    "    clock.charge_compute(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert (
+            "repro.sim.clock.SimClock.charge_compute"
+            in graph.callees("repro.core.step.advance")
+        )
+        sites = graph.callers_of("repro.sim.clock.SimClock.charge_compute")
+        assert [s.via for s in sites] == ["typed"]
+
+    def test_annotated_parameter_types_receiver(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/core/step.py": (
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "def advance(clock: SimClock):\n"
+                    "    clock.charge_compute(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert (
+            "repro.sim.clock.SimClock.charge_compute"
+            in graph.callees("repro.core.step.advance")
+        )
+
+    def test_init_attribute_assignment_types_self_attr(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/obs/watch.py": (
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "class Watcher:\n"
+                    "    def __init__(self):\n"
+                    "        self.clock = SimClock()\n"
+                    "\n"
+                    "    def record(self):\n"
+                    "        self.clock.charge_compute(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert (
+            "repro.sim.clock.SimClock.charge_compute"
+            in graph.callees("repro.obs.watch.Watcher.record")
+        )
+
+    def test_annotated_dataclass_field_types_self_attr(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/core/holder.py": (
+                    "from dataclasses import dataclass\n"
+                    "\n"
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "@dataclass\n"
+                    "class Holder:\n"
+                    "    clock: SimClock\n"
+                    "\n"
+                    "    def tick(self):\n"
+                    "        self.clock.charge_compute(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert (
+            "repro.sim.clock.SimClock.charge_compute"
+            in graph.callees("repro.core.holder.Holder.tick")
+        )
+
+    def test_common_method_names_do_not_name_match(self):
+        assert "update" in COMMON_METHOD_NAMES
+        table = table_for(
+            {
+                "p/repro/storage/store.py": (
+                    "class Store:\n"
+                    "    def update(self, key):\n"
+                    "        self.key = key\n"
+                ),
+                "p/repro/core/use.py": (
+                    "def bump(mystery):\n"
+                    "    mystery.update(1)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert graph.callees("repro.core.use.bump") == []
+
+    def test_uncommon_method_name_falls_back_to_name_match(self):
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/core/use.py": (
+                    "def bump(mystery):\n"
+                    "    mystery.charge_compute(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        sites = graph.callers_of("repro.sim.clock.SimClock.charge_compute")
+        assert [s.via for s in sites] == ["name-match"]
+
+    def test_typed_receiver_without_method_creates_no_edge(self):
+        # A known project type that lacks the method: the call is a
+        # builtin/ndarray op, not a project call — no fallback edge.
+        table = table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/sim/other.py": (
+                    "class Other:\n"
+                    "    def charge_compute(self, s):\n"
+                    "        self.s = s\n"
+                ),
+                "p/repro/core/use.py": (
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "def bump(clock: SimClock):\n"
+                    "    clock.nonexistent_method(1.0)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert graph.callees("repro.core.use.bump") == []
+
+
+class TestEffects:
+    def _chained_table(self):
+        return table_for(
+            {
+                "p/repro/sim/clock.py": CLOCK_SRC,
+                "p/repro/core/mid.py": (
+                    "from repro.sim.clock import SimClock\n"
+                    "\n"
+                    "\n"
+                    "def middle():\n"
+                    "    clock = SimClock()\n"
+                    "    clock.charge_compute(1.0)\n"
+                ),
+                "p/repro/analysis/top.py": (
+                    "from repro.core.mid import middle\n"
+                    "\n"
+                    "\n"
+                    "def outer():\n"
+                    "    return middle()\n"
+                ),
+            }
+        )
+
+    def test_named_seeds_bind_to_analyzed_tree(self):
+        table = self._chained_table()
+        seeds = named_seed_table(table)
+        assert seeds["repro.sim.clock.SimClock.charge_compute"] == {CLOCK_ADVANCE}
+        empty = named_seed_table(table_for({"p/repro/x.py": "A = 1\n"}))
+        assert empty == {}
+
+    def test_effects_propagate_transitively(self):
+        table = self._chained_table()
+        graph = build_call_graph(table)
+        effects = propagate_effects(table, graph, named_seed_table(table))
+        assert CLOCK_ADVANCE in effects["repro.core.mid.middle"]
+        assert CLOCK_ADVANCE in effects["repro.analysis.top.outer"]
+
+    def test_barriers_stop_propagation_to_callers(self):
+        table = self._chained_table()
+        graph = build_call_graph(table)
+        effects = propagate_effects(
+            table,
+            graph,
+            named_seed_table(table),
+            barriers=frozenset({"repro.core.mid.middle"}),
+        )
+        assert CLOCK_ADVANCE in effects["repro.core.mid.middle"]
+        assert CLOCK_ADVANCE not in effects["repro.analysis.top.outer"]
+
+    def test_witness_path_names_the_chain(self):
+        table = self._chained_table()
+        graph = build_call_graph(table)
+        seeds = named_seed_table(table)
+        effects = propagate_effects(table, graph, seeds)
+        chain = witness_path(
+            graph, effects, seeds, "repro.analysis.top.outer", CLOCK_ADVANCE
+        )
+        assert chain == [
+            "repro.analysis.top.outer",
+            "repro.core.mid.middle",
+            "repro.sim.clock.SimClock.charge_compute",
+        ]
+
+    def test_pattern_sites_detect_wallclock_and_rng(self):
+        table = table_for(
+            {
+                "p/repro/obs/probe.py": (
+                    "import time\n"
+                    "\n"
+                    "import numpy as np\n"
+                    "\n"
+                    "from time import perf_counter as pc\n"
+                    "\n"
+                    "\n"
+                    "def now():\n"
+                    "    return time.time() + pc()\n"
+                    "\n"
+                    "\n"
+                    "def draw():\n"
+                    "    return np.random.default_rng(0)\n"
+                ),
+            }
+        )
+        sites = scan_pattern_sites(table)
+        by_detail = {s.detail: s for s in sites}
+        assert by_detail["time.time"].effect == WALLCLOCK
+        assert by_detail["time.perf_counter"].effect == WALLCLOCK
+        assert by_detail["numpy.random.default_rng"].effect == RNG
+        assert by_detail["time.time"].function == "repro.obs.probe.now"
+
+    def test_effect_table_dump_is_deterministic(self):
+        table = self._chained_table()
+        graph = build_call_graph(table)
+        effects = propagate_effects(table, graph, named_seed_table(table))
+        dump = format_effect_table(effects)
+        assert dump == format_effect_table(effects)
+        assert dump.endswith("\n")
+        assert "repro.analysis.top.outer: CLOCK_ADVANCE" in dump

@@ -1,0 +1,182 @@
+"""Rule-level tests for the whole-program analyzer (FB200-FB206).
+
+Each FB2xx rule is exercised against a fixture mini-package under
+``tests/analyzer_fixtures/`` shaped like the real tree, in three
+flavors: positive (flagged), suppressed (``# noqa`` on the finding
+line), and baselined.  The snapshot-completeness rule is additionally
+proven live against the real ``Machine`` class by injecting a fake
+un-checkpointed attribute.
+"""
+
+from pathlib import Path
+
+from repro.tooling.analyzer import analyze_paths, analyze_sources
+from repro.tooling.report import Baseline
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "analyzer_fixtures"
+REPO_ROOT = HERE.parent
+
+
+def run_fixture(case, baseline=None):
+    return analyze_paths([str(FIXTURES / case)], baseline=baseline)
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+class TestFB200SyntaxError:
+    def test_parse_failure_is_a_finding_not_a_crash(self):
+        result = analyze_sources({"x/repro/bad.py": "def f(:\n"})
+        assert codes(result) == ["FB200"]
+        assert result.findings[0].line == 1
+
+
+class TestFB201ObsNeutrality:
+    def test_obs_reaching_clock_advance_flagged_with_witness(self):
+        result = run_fixture("fb201")
+        assert codes(result) == ["FB201"]
+        finding = result.findings[0]
+        assert finding.symbol == "repro.obs.watch.Watcher.record"
+        assert finding.path.endswith("repro/obs/watch.py")
+        assert "SimClock.charge_compute" in finding.message
+
+    def test_noqa_on_def_line_suppresses(self):
+        result = run_fixture("fb201")
+        assert not any("quiet" in f.path for f in result.findings)
+
+
+class TestFB202FrontendVFS:
+    def test_frontend_bypassing_engine_entry_flagged(self):
+        result = run_fixture("fb202")
+        assert codes(result) == ["FB202"]
+        finding = result.findings[0]
+        assert finding.symbol == "repro.analysis.report.bad_path"
+        assert "VFS.create" in finding.message
+
+    def test_reaching_vfs_through_run_is_sanctioned(self):
+        result = run_fixture("fb202")
+        assert not any(f.symbol.endswith("good_path") for f in result.findings)
+
+    def test_noqa_suppresses(self):
+        result = run_fixture("fb202")
+        assert not any("quiet" in f.path for f in result.findings)
+
+
+class TestFB203FaultChokePoint:
+    def test_rogue_on_submit_call_flagged_at_call_site(self):
+        result = run_fixture("fb203")
+        assert codes(result) == ["FB203"]
+        finding = result.findings[0]
+        assert finding.path.endswith("repro/engines/rogue.py")
+        assert finding.symbol == "repro.engines.rogue.RogueEngine.poke"
+
+    def test_device_submit_is_exempt_and_noqa_suppresses(self):
+        result = run_fixture("fb203")
+        assert not any("device.py" in f.path for f in result.findings)
+        assert not any("quiet" in f.path for f in result.findings)
+
+
+class TestFB204UnseededRNG:
+    def test_raw_primitives_flagged_outside_utils_rng(self):
+        result = run_fixture("fb204")
+        assert codes(result) == ["FB204", "FB204"]
+        details = sorted(f.message.split("(")[0] for f in result.findings)
+        assert "numpy.random.default_rng" in result.findings[0].message
+        assert "random.random" in result.findings[1].message
+        assert details == sorted(details)
+
+    def test_utils_rng_module_is_the_sanctioned_home(self):
+        result = run_fixture("fb204")
+        assert not any("utils/rng.py" in f.path for f in result.findings)
+
+    def test_noqa_and_seeded_wrapper_are_clean(self):
+        result = run_fixture("fb204")
+        lines = {f.line for f in result.findings}
+        # sample_suppressed (noqa) and sample_good (rng_from_seed) lines
+        # must not appear among the findings.
+        assert lines == {11, 16}
+
+
+class TestFB205OrderSensitivity:
+    def test_set_iteration_and_unsorted_listing_flagged(self):
+        result = run_fixture("fb205")
+        assert codes(result) == ["FB205", "FB205"]
+        set_finding, listing_finding = result.findings
+        assert set_finding.line == 8
+        assert "hash-order" in set_finding.message
+        assert listing_finding.line == 14
+        assert "os.listdir" in listing_finding.message
+
+    def test_sorted_dict_len_and_noqa_are_clean(self):
+        result = run_fixture("fb205")
+        assert not any("quiet" in f.path for f in result.findings)
+
+
+class TestFB206SnapshotCompleteness:
+    def test_escaping_attribute_flagged_at_mutation_site(self):
+        result = run_fixture("fb206")
+        assert codes(result) == ["FB206"]
+        finding = result.findings[0]
+        assert finding.symbol == "repro.storage.cachebox.CacheBox.hits"
+        assert "'hits'" in finding.message
+
+    def test_covered_attribute_not_flagged(self):
+        result = run_fixture("fb206")
+        assert not any(f.symbol.endswith(".entries") for f in result.findings)
+
+    def test_noqa_on_mutation_line_suppresses(self):
+        result = run_fixture("fb206")
+        assert not any("quiet" in f.path for f in result.findings)
+
+    def test_committed_fixture_baseline_absorbs_the_finding(self):
+        baseline = Baseline.load(str(FIXTURES / "fb206" / "baseline.json"))
+        result = run_fixture("fb206", baseline=baseline)
+        assert result.findings == []
+        assert [f.symbol for f in result.baselined] == [
+            "repro.storage.cachebox.CacheBox.hits"
+        ]
+        assert result.unused_baseline == []
+
+    def test_live_regression_fake_attribute_on_real_machine(self):
+        """Acceptance proof: a new un-checkpointed Machine attribute is
+        caught the moment it is introduced."""
+        path = REPO_ROOT / "src" / "repro" / "storage" / "machine.py"
+        source = path.read_text(encoding="utf-8")
+        clean = analyze_sources({"src/repro/storage/machine.py": source})
+        marker = "    def checkpoint("
+        assert marker in source
+        injected = source.replace(
+            marker,
+            "    def _grow_shadow(self) -> None:\n"
+            "        self._shadow_state = 1\n"
+            "\n" + marker,
+            1,
+        )
+        broken = analyze_sources({"src/repro/storage/machine.py": injected})
+        new = {f.symbol for f in broken.findings} - {
+            f.symbol for f in clean.findings
+        }
+        assert new == {"repro.storage.machine.Machine._shadow_state"}
+        assert all(f.code == "FB206" for f in broken.findings)
+
+
+class TestMergedTree:
+    def test_src_repro_is_clean_under_committed_baseline(self):
+        """Acceptance gate: the shipped tree has zero non-baselined findings."""
+        baseline = Baseline.load(str(REPO_ROOT / "analyzer_baseline.json"))
+        result = analyze_paths(
+            [str(REPO_ROOT / "src" / "repro")], baseline=baseline
+        )
+        assert result.findings == [], "\n".join(str(f) for f in result.findings)
+        assert result.unused_baseline == []
+
+    def test_the_baselined_cases_are_exactly_the_documented_ones(self):
+        result = analyze_paths([str(REPO_ROOT / "src" / "repro")])
+        assert {f.symbol for f in result.findings} == {
+            "repro.storage.faults.FaultInjector._fires",
+            "repro.storage.faults.FaultInjector._counts",
+            "repro.storage.machine.Machine.tracer",
+        }
+        assert all(f.code == "FB206" for f in result.findings)
