@@ -12,6 +12,12 @@ the architecture against the monolithic path:
 * each query's BFS output is bit-for-bit identical to a monolithic
   ``run()`` from the same root on a fresh machine.
 
+It then re-runs the same batch in ``mode="batched"`` (MS-BFS shared
+scans, see ``docs/batched_bfs.md``) and checks the scheduler's two
+promises: per-query outputs stay bit-identical to the serial path, and
+the batch's edge scans amortize to at most ``MAX_AMORTIZATION`` (0.2x)
+of the serial total.
+
 Runnable standalone for CI smoke checks::
 
     PYTHONPATH=src python benchmarks/bench_multi_query.py --smoke
@@ -29,6 +35,11 @@ from repro.storage.machine import Machine
 from repro.utils.units import KB, format_bytes, format_seconds
 
 Q = 8
+
+#: Acceptance bound on the batched/serial edge-scan ratio: an MS-BFS
+#: batch of Q=8 hub queries must scan at most this fraction of the
+#: edges the serial rewind path streams.
+MAX_AMORTIZATION = 0.2
 
 #: The I/O roles that belong to staging, not to any query.
 STAGING_ROLES = (("input", "read"), ("partition", "write"))
@@ -86,11 +97,33 @@ def run_comparison(scale: int) -> dict:
     monolithic_total = sum(s.execution_time for s in singles)
     assert batch.total_time < monolithic_total
 
+    # The MS-BFS scheduler shares one scatter/gather timeline across the
+    # whole batch: same per-query answers, a fraction of the edge scans.
+    batched = FastBFSEngine(_config()).run_many(
+        graph, _machine(), roots=roots, mode="batched"
+    )
+    assert batched.mode == "batched", "FastBFS BFS must batch, not fall back"
+    assert len(batched.batch_times) == 1  # Q=8 fits one 64-wide batch
+    for query, bq in zip(batch.queries, batched.queries):
+        assert np.array_equal(query.levels, bq.levels)
+        assert np.array_equal(query.parents, bq.parents)
+        assert query.num_iterations == bq.num_iterations
+        assert bq.query_index == query.query_index
+
+    amortization = batched.edges_scanned / batch.edges_scanned
+    assert amortization <= MAX_AMORTIZATION, (
+        f"batched mode scanned {amortization:.3f}x the serial edge total "
+        f"(bound {MAX_AMORTIZATION})"
+    )
+    assert batched.total_time < batch.total_time
+
     return {
         "graph": graph,
         "roots": roots,
         "singles": singles,
         "batch": batch,
+        "batched": batched,
+        "amortization": amortization,
         "monolithic_total": monolithic_total,
     }
 
@@ -128,10 +161,20 @@ def render(data: dict) -> str:
         "-",
         "-",
     ])
+    batched = data["batched"]
+    rows.append([
+        "MS-BFS batched",
+        "-",
+        format_seconds(batched.total_time),
+        "-",
+        str(len(batched.shared_iterations)),
+    ])
     title = (
         f"Multi-query amortization: {Q} BFS queries on "
         f"{data['graph'].name}, staged once "
-        f"(amortized {format_seconds(batch.amortized_time)}/query)"
+        f"(amortized {format_seconds(batch.amortized_time)}/query; "
+        f"batched scans {data['amortization']:.1%} of serial's "
+        f"{batch.edges_scanned:,} edges)"
     )
     return format_table(["phase", "root", "time", "I/O", "iters"], rows, title)
 

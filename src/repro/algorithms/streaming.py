@@ -29,6 +29,16 @@ import numpy as np
 
 from repro.errors import EngineError
 from repro.graph.types import NO_PARENT, UNVISITED, UPDATE_DTYPE
+from repro.utils.bits import mask_bit_counts, popcount64
+
+#: Width of one MS-BFS batch: one query per bit of a ``uint64`` mask word.
+BATCH_WIDTH = 64
+
+#: Update record for batched traversals: destination, parent payload, and
+#: the liveness mask naming which queries of the batch this update serves.
+BATCH_UPDATE_DTYPE = np.dtype(
+    [("dst", "<u4"), ("payload", "<u4"), ("mask", "<u8")]
+)
 
 
 @dataclass
@@ -48,9 +58,23 @@ class StreamingAlgorithm:
     state_dtype: np.dtype = np.dtype([("active", "u1")])
     #: Bytes per vertex as charged for on-disk vertex-set I/O.
     disk_record_bytes: int = 8
+    #: On-disk layout of one update record (batched kernels widen this).
+    update_dtype: np.dtype = UPDATE_DTYPE
 
     def init_state(self, num_vertices: int, roots) -> np.ndarray:
         raise NotImplementedError
+
+    def init_state_validated(self, num_vertices: int, roots) -> np.ndarray:
+        """Build state from roots the engine boundary already validated.
+
+        ``engine.run()``/``run_many()`` validate every root entry before
+        staging (so a bad query fails without touching the machine) and
+        hand the validated arrays through the session to this entry point,
+        avoiding a second validation pass.  The default simply defers to
+        :meth:`init_state`; algorithms with non-trivial root checks
+        override both and share the body.
+        """
+        return self.init_state(num_vertices, roots)
 
     def scatter(
         self,
@@ -78,6 +102,41 @@ class StreamingAlgorithm:
         (and before that partition's next scatter).  Iterative numeric
         algorithms (e.g. PageRank) finalize the round's values here; the
         traversal algorithms need nothing."""
+
+    def after_partition_scatter(
+        self, ctx: AlgoContext, state: np.ndarray
+    ) -> None:
+        """Called right after the engine clears a partition's ``active``
+        flags at the end of its scatter.  Batched kernels clear their
+        frontier mask words here; the serial algorithms need nothing."""
+
+    def gather_payload(self, buf: np.ndarray) -> np.ndarray:
+        """Extract what :meth:`gather` consumes from one update buffer.
+
+        The serial kernels take the ``payload`` column; batched kernels
+        take the whole record (payload plus liveness mask).
+        """
+        return buf["payload"]
+
+    def shuffle_weight(self, updates: np.ndarray) -> int:
+        """Serial-equivalent work units for routing ``updates`` (shuffle).
+
+        One per record for serial kernels; the liveness-mask popcount for
+        batched kernels, so per-update shuffle cost scales with how many
+        queries each record serves (see ``repro.engines.costs``).
+        """
+        return len(updates)
+
+    def gather_weight(self, buf: np.ndarray) -> int:
+        """Serial-equivalent work units for applying one update buffer."""
+        return len(buf)
+
+    def batched(self, num_queries: int) -> Optional["StreamingAlgorithm"]:
+        """A batched (MS-BFS style) kernel advancing ``num_queries``
+        traversals per edge scan, or None when this algorithm cannot be
+        batched (label-correcting algorithms); the scheduler then falls
+        back to the serial checkpoint/restore path."""
+        return None
 
     def result(self, state: np.ndarray) -> Dict[str, np.ndarray]:
         """Extract the user-facing output arrays from the final state."""
@@ -130,15 +189,26 @@ class BFSAlgorithm(StreamingAlgorithm):
     name = "bfs"
     supports_trimming = True
     state_dtype = np.dtype([("level", "<i4"), ("parent", "<u4"), ("active", "u1")])
+    #: Key the per-query hop-count array is published under in ``result()``
+    #: (also used when demultiplexing a batched run).
+    level_output_key = "level"
 
     def init_state(self, num_vertices: int, roots) -> np.ndarray:
-        roots = self._check_roots(num_vertices, roots)
+        return self.init_state_validated(
+            num_vertices, self._check_roots(num_vertices, roots)
+        )
+
+    def init_state_validated(self, num_vertices: int, roots) -> np.ndarray:
+        roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
         state = np.zeros(num_vertices, dtype=self.state_dtype)
         state["level"][:] = UNVISITED
         state["parent"][:] = NO_PARENT
         state["level"][roots] = 0
         state["active"][roots] = 1
         return state
+
+    def batched(self, num_queries: int) -> "BatchedBFSAlgorithm":
+        return BatchedBFSAlgorithm(num_queries, serial=self)
 
     def scatter(self, ctx, state, src_local, src_global, dst_global):
         mask = state["active"][src_local] == 1
@@ -186,6 +256,7 @@ class UnitSSSPAlgorithm(BFSAlgorithm):
     """
 
     name = "unit-sssp"
+    level_output_key = "distance"
 
     def result(self, state):
         out = super().result(state)
@@ -227,3 +298,218 @@ class WCCAlgorithm(StreamingAlgorithm):
 
     def result(self, state):
         return {"label": state["label"].copy()}
+
+
+class BatchedBFSAlgorithm(StreamingAlgorithm):
+    """MS-BFS: up to :data:`BATCH_WIDTH` concurrent BFS traversals per scan.
+
+    Per-vertex state packs one frontier bit and one visited bit per query
+    into ``uint64`` mask words, plus per-query level/parent columns; the
+    shared ``active`` flag (any frontier bit set) keeps the engines'
+    selective scheduling working unchanged.  Scatter emits one update
+    record per frontier edge carrying the *mask* of queries it serves;
+    gather claims each destination per query bit with the same
+    first-update-wins stream order as the serial kernel, so demultiplexed
+    levels/parents are bit-identical to Q serial runs.
+
+    Trimming generalizes the paper's rule to the batch: an edge is dead
+    only when its source is visited for **every live query** (queries that
+    stopped generating updates leave the liveness mask, re-arming the
+    trim).  Liveness for pass *i* is exactly the OR of masks generated in
+    pass *i-1*, tracked here per pass so interleaved gather(i-1)/scatter(i)
+    contexts never race.
+    """
+
+    name = "batched-bfs"
+    supports_trimming = True
+    #: Per pass the two mask words round-trip through the vertex-set files
+    #: (16 bytes); per-query levels/parents are written once at visit time
+    #: and live with the result arrays, like the serial kernel's ``active``.
+    disk_record_bytes = 16
+    update_dtype = BATCH_UPDATE_DTYPE
+
+    def __init__(
+        self, num_queries: int, serial: Optional[BFSAlgorithm] = None
+    ) -> None:
+        if not 1 <= num_queries <= BATCH_WIDTH:
+            raise EngineError(
+                f"batch width must be in [1, {BATCH_WIDTH}], got {num_queries}"
+            )
+        self.num_queries = num_queries
+        self.serial = serial if serial is not None else BFSAlgorithm()
+        self.level_output_key = self.serial.level_output_key
+        self.state_dtype = np.dtype(
+            [
+                ("frontier", "<u8"),
+                ("visited", "<u8"),
+                ("level", "<i4", (num_queries,)),
+                ("parent", "<u4", (num_queries,)),
+                ("active", "u1"),
+            ]
+        )
+        self._full_mask = np.uint64((1 << num_queries) - 1 if num_queries < 64
+                                    else 0xFFFFFFFFFFFFFFFF)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-run bookkeeping (a crash replay starts from scratch)."""
+        #: OR of the masks of all updates generated during pass i.
+        self._generated_mask: Dict[int, int] = {}
+        #: Per-query update counts generated during pass i.
+        self._updates_by_pass: Dict[int, np.ndarray] = {}
+        #: Per-query vertices newly claimed at level i (gather of pass i).
+        self._activated_by_pass: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+    def init_state(self, num_vertices: int, roots) -> np.ndarray:
+        entries = [self._check_roots(num_vertices, r) for r in roots]
+        return self.init_state_validated(num_vertices, entries)
+
+    def init_state_validated(self, num_vertices: int, roots) -> np.ndarray:
+        """``roots`` is one entry per query slot: a root vertex or a root
+        set for a multi-source slot (already validated at the boundary)."""
+        slots = [np.atleast_1d(np.asarray(r, dtype=np.int64)) for r in roots]
+        if len(slots) != self.num_queries:
+            raise EngineError(
+                f"batched kernel of width {self.num_queries} got "
+                f"{len(slots)} root entries"
+            )
+        self.reset()
+        state = np.zeros(num_vertices, dtype=self.state_dtype)
+        state["level"][:] = UNVISITED
+        state["parent"][:] = NO_PARENT
+        frontier = state["frontier"]
+        for q, slot_roots in enumerate(slots):
+            bit = np.uint64(1 << q)
+            frontier[slot_roots] |= bit
+            state["level"][slot_roots, q] = 0
+            state["active"][slot_roots] = 1
+        state["visited"][:] = frontier
+        return state
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def live_mask(self, iteration: int) -> np.uint64:
+        """Queries that may still generate updates in pass ``iteration``:
+        everyone at pass 0, afterwards whoever generated in the previous
+        pass (a query that went silent has converged and drops out)."""
+        if iteration <= 0:
+            return self._full_mask
+        return np.uint64(self._generated_mask.get(iteration - 1, 0))
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def scatter(self, ctx, state, src_local, src_global, dst_global):
+        fmask = state["frontier"][src_local]
+        sel = fmask != 0
+        updates = np.empty(int(sel.sum()), dtype=BATCH_UPDATE_DTYPE)
+        updates["dst"] = dst_global[sel]
+        updates["payload"] = src_global[sel]
+        updates["mask"] = fmask[sel]
+        if len(updates):
+            gen = self._generated_mask.get(ctx.iteration, 0)
+            self._generated_mask[ctx.iteration] = gen | int(
+                np.bitwise_or.reduce(updates["mask"])
+            )
+            counts = self._updates_by_pass.setdefault(
+                ctx.iteration, np.zeros(self.num_queries, dtype=np.int64)
+            )
+            counts += mask_bit_counts(updates["mask"], self.num_queries)
+        live = self.live_mask(ctx.iteration)
+        if live == 0:
+            eliminate = np.zeros(len(src_local), dtype=bool)
+        else:
+            eliminate = (state["visited"][src_local] & live) == live
+        return updates, eliminate
+
+    def gather(self, ctx, state, dst_local, payload) -> int:
+        buf = payload  # full records (see gather_payload)
+        masks = buf["mask"]
+        level = ctx.iteration + 1
+        activated = 0
+        present = int(np.bitwise_or.reduce(masks)) if len(masks) else 0
+        for q in range(self.num_queries):
+            bit = np.uint64(1 << q)
+            if not present & (1 << q):
+                continue
+            has = (masks & bit) != 0
+            dst = dst_local[has]
+            fresh = (state["visited"][dst] & bit) == 0
+            if not fresh.any():
+                continue
+            dst = dst[fresh]
+            parents = buf["payload"][has][fresh]
+            # First update to arrive wins, exactly like the serial kernel.
+            uniq, first_idx = np.unique(dst, return_index=True)
+            state["visited"][uniq] |= bit
+            state["frontier"][uniq] |= bit
+            state["level"][uniq, q] = level
+            state["parent"][uniq, q] = parents[first_idx]
+            state["active"][uniq] = 1
+            claimed = len(uniq)
+            activated += claimed
+            per_q = self._activated_by_pass.setdefault(
+                level, np.zeros(self.num_queries, dtype=np.int64)
+            )
+            per_q[q] += claimed
+        return activated
+
+    def after_partition_scatter(self, ctx, state) -> None:
+        state["frontier"][:] = 0
+
+    def extended_eliminate(self, state, src_local, base_mask):
+        """The batch rule is already liveness-aware; nothing to widen."""
+        return base_mask
+
+    def gather_payload(self, buf: np.ndarray) -> np.ndarray:
+        return buf
+
+    def shuffle_weight(self, updates: np.ndarray) -> int:
+        return popcount64(updates["mask"])
+
+    def gather_weight(self, buf: np.ndarray) -> int:
+        return popcount64(buf["mask"])
+
+    def result(self, state):
+        return {
+            "level": state["level"].copy(),
+            "parent": state["parent"].copy(),
+        }
+
+    # ------------------------------------------------------------------
+    # per-query demultiplexing (consumed by BatchedQuerySession)
+    # ------------------------------------------------------------------
+    def per_query_updates(self, iteration: int) -> np.ndarray:
+        """Updates generated for each query during ``iteration``."""
+        counts = self._updates_by_pass.get(iteration)
+        if counts is None:
+            return np.zeros(self.num_queries, dtype=np.int64)
+        return counts
+
+    def per_query_activated(self, iteration: int) -> np.ndarray:
+        """Vertices newly claimed at level ``iteration`` for each query."""
+        counts = self._activated_by_pass.get(iteration)
+        if counts is None:
+            return np.zeros(self.num_queries, dtype=np.int64)
+        return counts
+
+    def query_iterations(self, q: int, num_passes: int) -> int:
+        """How many passes a serial run of slot ``q`` would have executed:
+        its last generating pass plus the draining gather pass, or the
+        single silent scatter pass when the slot never generated."""
+        last = -1
+        for i in range(num_passes):
+            if self.per_query_updates(i)[q] > 0:
+                last = i
+        return last + 2 if last >= 0 else 1
+
+    def query_output(self, state: np.ndarray, q: int) -> Dict[str, np.ndarray]:
+        """Demultiplex slot ``q``'s result arrays (serial key names)."""
+        return {
+            self.level_output_key: state["level"][:, q].copy(),
+            "parent": state["parent"][:, q].copy(),
+        }

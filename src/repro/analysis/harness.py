@@ -284,11 +284,14 @@ class ExperimentRunner:
         num_disks: int = 1,
         memory: Optional[str] = None,
         threads: int = 4,
+        mode: str = "serial",
         **config_overrides,
     ):
         """One ``run_many`` batch with per-query observability attached.
 
-        Not memoized (each call is a fresh staging + batch).  The returned
+        Not memoized (each call is a fresh staging + batch).  ``mode``
+        selects the scheduler policy (``"serial"`` rewind-per-query or
+        ``"batched"`` MS-BFS shared scans).  The returned
         :class:`~repro.engines.result.BatchResult` carries a batch-wide
         :class:`~repro.obs.CounterRegistry` as ``metrics`` and a per-query
         registry on every ``queries`` entry, built from that query's delta
@@ -300,7 +303,7 @@ class ExperimentRunner:
         graph = self.graph(dataset)
         machine = self.machine(disk_kind, num_disks, memory)
         eng = self._engine(engine, threads, config_overrides)
-        batch = eng.run_many(graph, machine, roots=list(roots))
+        batch = eng.run_many(graph, machine, roots=list(roots), mode=mode)
         registry = CounterRegistry.from_machine(machine)
         for q in batch.queries:
             q.metrics = CounterRegistry.from_report(q.report).ingest_result(q)

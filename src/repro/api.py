@@ -166,25 +166,35 @@ def run_queries(
     config: Optional[AnyEngineConfig] = None,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    mode: str = "serial",
     **machine_kwargs: object,
 ) -> BatchResult:
     """Run one BFS per ``roots`` entry, staging the graph exactly once.
 
     Each entry is a root vertex (or a sequence of roots for one
     multi-source query).  The staged artifact is shared: staging I/O is
-    paid once, the machine is rewound between queries, and the returned
+    paid once and the returned
     :class:`~repro.engines.result.BatchResult` carries the staging report,
     one per-query result, and amortized timings.
 
+    ``mode`` selects the scheduler policy: ``"serial"`` (default) rewinds
+    the machine between queries — the historical behaviour, bit for bit;
+    ``"batched"`` packs the queries into MS-BFS batches of up to 64 that
+    share one edge-scan timeline (see ``docs/batched_bfs.md``), returning
+    bit-identical per-query levels/parents at a fraction of the edge
+    scans.  Engines/algorithms without a batched kernel fall back to
+    serial execution (``batch.extras["batched_fallback"]``).
+
     ``trace_path``/``metrics_path`` export the batch's span trace (one
-    ``query`` span per root entry) and counter snapshot, and attach
-    registries to the batch (``batch.metrics``) and to every query
+    ``query`` span per root entry in serial mode; one per batch, with
+    ``query_slot`` markers, in batched mode) and counter snapshot, and
+    attach registries to the batch (``batch.metrics``) and to every query
     (``query.metrics``, built from that query's delta report).
     """
     machine = _resolve_machine(machine, machine_kwargs)
     _prepare_tracing(machine, trace_path)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
-    batch = eng.run_many(graph, machine, roots=roots)
+    batch = eng.run_many(graph, machine, roots=roots, mode=mode)
     export_observability(machine, batch, trace_path, metrics_path)
     return batch
 

@@ -104,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--engine", choices=list(ENGINES), default="fastbfs")
     batch.add_argument("--roots", type=int, nargs="+", required=True,
                        help="one BFS query is run per root")
+    batch.add_argument("--batch", action="store_true",
+                       help="MS-BFS batched scheduling: advance up to 64 "
+                            "queries per shared edge scan (bit-identical "
+                            "per-query results; see docs/batched_bfs.md)")
     batch.add_argument("--verbose", action="store_true",
                        help="print each query's per-iteration breakdown")
     _add_machine_args(batch)
@@ -404,7 +408,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     machine = _machine(args)
     _obs_attach(machine, args)
     engine = _engine(args.engine, args)
-    batch = engine.run_many(graph, machine, roots=args.roots)
+    mode = "batched" if args.batch else "serial"
+    batch = engine.run_many(graph, machine, roots=args.roots, mode=mode)
     _obs_export(machine, batch, args)
     rows: List[List[object]] = [
         [
@@ -437,6 +442,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"amortized/query: {format_seconds(batch.amortized_time)}  "
           f"(staging amortized to "
           f"{format_seconds(batch.staging_time / batch.num_queries)}/query)")
+    if batch.mode == "batched":
+        print(f"batched: {len(batch.batch_times)} shared-scan batch(es), "
+              f"{batch.edges_scanned:,} edges scanned "
+              f"({batch.edge_scans_per_query:,.0f}/query amortized)")
+    elif args.batch:
+        print("batched mode unavailable for this engine/algorithm; "
+              "ran serial fallback")
     if args.verbose:
         for i, q in enumerate(batch.queries):
             print(f"\nquery {i} (root {args.roots[i]}):")
@@ -535,9 +547,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"divisor {snapshot['divisor']})")
         for name in sorted(scenarios):
             doc = scenarios[name]
-            print(f"  {name}: {format_seconds(doc['execution_time'])}, "
-                  f"{format_bytes(doc['total_bytes'])} total I/O, "
-                  f"{doc['iterations']} iterations")
+            if doc.get("kind") == "multi-query":
+                print(f"  {name}: {format_seconds(doc['batched_time'])} "
+                      f"batched, {doc['queries']} queries, edge-scan "
+                      f"amortization {doc['edge_scan_amortization']:.1%}")
+            else:
+                print(f"  {name}: {format_seconds(doc['execution_time'])}, "
+                      f"{format_bytes(doc['total_bytes'])} total I/O, "
+                      f"{doc['iterations']} iterations")
         return 0
     files = snapshot_files(args.bench_dir)
     if len(files) < 2:

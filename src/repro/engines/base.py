@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.algorithms.streaming import AlgoContext, BFSAlgorithm, StreamingAlgorithm
+from repro.algorithms.streaming import (
+    BATCH_WIDTH,
+    AlgoContext,
+    BFSAlgorithm,
+    StreamingAlgorithm,
+)
 from repro.engines.costs import CostModel
 from repro.engines.result import EngineResult, IterationStats
 from repro.errors import ConfigError, EngineError
@@ -194,7 +199,7 @@ class EdgeCentricEngine:
         algo = algorithm if algorithm is not None else BFSAlgorithm()
         self._check_fresh(machine)
         sanitizer = self._ensure_sanitizer(machine)
-        algo.validate_roots(
+        validated = algo.validate_roots(
             graph.num_vertices, roots if roots is not None else [root]
         )
         staged = self.stage(graph, machine, algorithm=algo)
@@ -202,7 +207,7 @@ class EdgeCentricEngine:
             self, staged, algorithm=algo,
             protect_staged=False, cumulative_report=True,
         )
-        result = session.run(root=root, roots=roots)
+        result = session.run(root=root, roots=roots, validated_roots=validated)
         if sanitizer is not None:
             result.extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
             sanitizer.finalize_run()
@@ -217,43 +222,95 @@ class EdgeCentricEngine:
         machine: Machine,
         roots: Sequence,
         algorithm: Optional[StreamingAlgorithm] = None,
+        mode: str = "serial",
     ):
         """Run one query per entry of ``roots``, staging the graph once.
 
         Each entry is a root vertex (or a sequence of roots for a
-        multi-source query).  The graph is staged once; between queries the
-        machine is rewound to the post-staging checkpoint, so every query
-        starts from an identical clock/VFS/device state and its report
-        covers only that query.  Returns a
-        :class:`~repro.engines.result.BatchResult`.
+        multi-source query).  The graph is staged once; every root entry is
+        validated up front (once — the sessions reuse the validated
+        arrays), so a bad query fails before any machine state changes.
+
+        ``mode="serial"`` (default, bit-for-bit the historical behaviour):
+        between queries the machine is rewound to the post-staging
+        checkpoint, so every query starts from an identical clock/VFS/
+        device state and its report covers only that query.
+
+        ``mode="batched"``: entries are packed into MS-BFS batches of up to
+        :data:`~repro.algorithms.streaming.BATCH_WIDTH` queries, each batch
+        advanced by one shared scatter/gather timeline (one edge scan for
+        the whole batch) and demultiplexed into per-query results that are
+        bit-identical to the serial ones.  The machine is rewound between
+        *batches*; algorithms without a batched kernel (``algo.batched()``
+        is None) silently fall back to the serial path, recorded as
+        ``extras["batched_fallback"]``.
+
+        Returns a :class:`~repro.engines.result.BatchResult`.
         """
         from repro.engines.result import BatchResult
-        from repro.engines.session import QuerySession
+        from repro.engines.session import BatchedQuerySession, QuerySession
 
         algo = algorithm if algorithm is not None else BFSAlgorithm()
         if len(roots) == 0:
             raise EngineError("run_many needs at least one root entry")
+        if mode not in ("serial", "batched"):
+            raise ConfigError(
+                f"run_many mode must be 'serial' or 'batched', got {mode!r}"
+            )
         self._check_fresh(machine)
         sanitizer = self._ensure_sanitizer(machine)
-        for entry in roots:
+        validated = [
             algo.validate_roots(
                 graph.num_vertices,
                 entry if _is_root_sequence(entry) else [entry],
             )
+            for entry in roots
+        ]
+        extras: Dict[str, float] = {}
+        batched = mode == "batched" and algo.batched(1) is not None
+        if mode == "batched" and not batched:
+            extras["batched_fallback"] = 1.0
         staged = self.stage(graph, machine, algorithm=algo)
         checkpoint = machine.checkpoint()
         queries: List[EngineResult] = []
-        for q, entry in enumerate(roots):
-            if q:
-                machine.restore(checkpoint)
-            session = QuerySession(self, staged, algorithm=algo)
-            if _is_root_sequence(entry):
-                result = session.run(roots=entry)
-            else:
-                result = session.run(root=int(entry))
-            result.extras["query_index"] = float(q)
-            queries.append(result)
-        extras: Dict[str, float] = {}
+        shared_iterations: List[IterationStats] = []
+        batch_times: List[float] = []
+        if batched:
+            for num_batches, start in enumerate(
+                range(0, len(validated), BATCH_WIDTH)
+            ):
+                chunk = validated[start:start + BATCH_WIDTH]
+                if num_batches:
+                    machine.restore(checkpoint)
+                session = BatchedQuerySession(
+                    self,
+                    staged,
+                    algo.batched(len(chunk)),
+                    serial_algorithm=algo,
+                    batch_index=num_batches,
+                )
+                results = session.run(chunk)
+                shared_iterations.extend(session.shared_iterations)
+                batch_times.append(session.report.execution_time)
+                queries.extend(results)
+            extras["num_batches"] = float(len(batch_times))
+        else:
+            for q, entry in enumerate(roots):
+                if q:
+                    machine.restore(checkpoint)
+                session = QuerySession(self, staged, algorithm=algo)
+                if _is_root_sequence(entry):
+                    result = session.run(
+                        roots=entry, validated_roots=validated[q]
+                    )
+                else:
+                    result = session.run(
+                        root=int(entry), validated_roots=validated[q]
+                    )
+                queries.append(result)
+        for q, result in enumerate(queries):
+            result.query_index = q
+            result.extras["query_index"] = float(result.query_index)
         if sanitizer is not None:
             extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
             sanitizer.finalize_run()
@@ -265,6 +322,9 @@ class EdgeCentricEngine:
             staging_report=staged.staging_report,
             queries=queries,
             extras=extras,
+            mode="batched" if batched else "serial",
+            shared_iterations=shared_iterations,
+            batch_times=batch_times,
         )
 
     def session(self, staged, algorithm: Optional[StreamingAlgorithm] = None):
@@ -576,11 +636,14 @@ class EdgeCentricEngine:
                 )
                 self._on_scatter_buffer(rt, p, ctx, buf, src_local, eliminate, stats)
                 if len(updates):
+                    # Batched kernels weight the charge by liveness-mask
+                    # popcount (one unit per query served); serial kernels
+                    # weight by record count — identical values there.
                     cm.charge(
                         machine.clock,
                         "shuffle",
                         cm.shuffle_per_update,
-                        len(updates),
+                        rt.algo.shuffle_weight(updates),
                         cfg.threads,
                         machine.cores,
                     )
@@ -590,6 +653,7 @@ class EdgeCentricEngine:
                         rt.update_writers[j].append(chunk)
                     generated += len(updates)
             state_view["active"][:] = 0
+            rt.algo.after_partition_scatter(ctx, state_view)
             self._post_partition_scatter(rt, p, ctx)
             sc_span.set(edges_streamed=streamed, updates_produced=generated)
         return generated
@@ -623,12 +687,14 @@ class EdgeCentricEngine:
                     machine.clock,
                     "gather",
                     cm.gather_per_update,
-                    len(buf),
+                    rt.algo.gather_weight(buf),
                     cfg.threads,
                     machine.cores,
                 )
                 dst_local = buf["dst"].astype(np.int64) - lo
-                activated += rt.algo.gather(ctx, state_view, dst_local, buf["payload"])
+                activated += rt.algo.gather(
+                    ctx, state_view, dst_local, rt.algo.gather_payload(buf)
+                )
             g_span.set(updates_gathered=gathered, activated=activated)
         return activated
 

@@ -11,6 +11,15 @@ Threading: a buffer's work is divided across ``min(threads, cores)`` cores,
 then a synchronization overhead *linear in the number of threads* is added
 per buffer.  That reproduces Fig. 8: flat scaling while I/O-bound, mild
 degradation once threads exceed cores.
+
+Batched (MS-BFS) charging: a batched update record carries one liveness
+mask bit per query it serves, so the serial-equivalent work of a buffer is
+the *popcount* of its masks, not its record count.  The engines obtain that
+weight from the algorithm (``shuffle_weight`` / ``gather_weight``, both
+backed by :func:`popcount64`) and pass it to :meth:`CostModel.charge` as
+the item count — per-update shuffle and gather costs therefore scale with
+mask width while the edge-scan cost is paid once per batch, keeping the
+compute:I/O ratio comparable between serial and batched modes.
 """
 
 from __future__ import annotations
@@ -19,6 +28,9 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.sim.clock import SimClock
+from repro.utils.bits import popcount64
+
+__all__ = ["CostModel", "popcount64"]
 
 
 @dataclass(frozen=True)

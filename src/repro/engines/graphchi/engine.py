@@ -153,6 +153,7 @@ class GraphChiEngine:
         machine: Machine,
         roots: Sequence,
         algorithm: str = "bfs",
+        mode: str = "serial",
     ) -> BatchResult:
         """One query per ``roots`` entry over a single shard build.
 
@@ -160,10 +161,18 @@ class GraphChiEngine:
         built once, the machine is rewound to the post-preparation
         checkpoint between queries, and each query's report is a delta.
         (Sharding charges no simulated I/O here, so the staging report is
-        empty; the preprocessing estimate rides in the extras.)
+        empty; the preprocessing estimate rides in the extras.)  GraphChi's
+        vertex-centric kernels have no batched (MS-BFS) variant, so
+        ``mode="batched"`` falls back to this serial path (recorded as
+        ``extras["batched_fallback"]``), matching the edge-centric
+        engines' non-batchable behaviour.
         """
         if len(roots) == 0:
             raise EngineError("run_many needs at least one root entry")
+        if mode not in ("serial", "batched"):
+            raise EngineError(
+                f"run_many mode must be 'serial' or 'batched', got {mode!r}"
+            )
         self._check_fresh(machine)
         entries = []
         for entry in roots:
@@ -182,18 +191,22 @@ class GraphChiEngine:
                 graph, machine, prep, root_list, algorithm,
                 baseline=staging_report,
             )
-            result.extras["query_index"] = float(q)
+            result.query_index = q
+            result.extras["query_index"] = float(result.query_index)
             queries.append(result)
+        extras = {
+            "shards": float(prep.num_intervals),
+            "preprocessing_time": float(prep.preprocessing),
+        }
+        if mode == "batched":
+            extras["batched_fallback"] = 1.0
         return BatchResult(
             engine=self.name,
             algorithm=algorithm,
             graph_name=graph.name,
             staging_report=staging_report,
             queries=queries,
-            extras={
-                "shards": float(prep.num_intervals),
-                "preprocessing_time": float(prep.preprocessing),
-            },
+            extras=extras,
         )
 
     # ------------------------------------------------------------------

@@ -45,6 +45,10 @@ class EngineResult:
     report: IOReport
     iterations: List[IterationStats] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Position of this query within a ``run_many`` batch (None for a
+    #: standalone run).  ``extras["query_index"]`` is emitted from this
+    #: field for backward compatibility — the field is the source of truth.
+    query_index: Optional[int] = None
     #: Per-run counter snapshot (repro.obs); attached by the api/harness
     #: front doors when observability export is requested.
     metrics: Optional[CounterRegistry] = None
@@ -116,8 +120,13 @@ class BatchResult:
 
     ``staging_report`` covers exactly the shared staging phase (planning
     I/O + partition split); each entry of ``queries`` is a per-query
-    :class:`EngineResult` whose report covers only that query (the machine
-    is rewound to the post-staging checkpoint between queries).
+    :class:`EngineResult`.  In ``mode="serial"`` each query's report covers
+    only that query (the machine is rewound to the post-staging checkpoint
+    between queries).  In ``mode="batched"`` queries were packed into
+    MS-BFS batches sharing one scatter/gather timeline: every query of a
+    batch carries that batch's delta report, the shared per-pass counters
+    live in ``shared_iterations``, and ``batch_times`` holds one execution
+    time per batch (the machine is rewound between batches).
     """
 
     engine: str
@@ -126,6 +135,13 @@ class BatchResult:
     staging_report: IOReport
     queries: List[EngineResult] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Scheduler policy that produced this batch: "serial" or "batched".
+    mode: str = "serial"
+    #: Batched mode only: per-pass counters of the shared timelines (one
+    #: run of passes per batch, concatenated in batch order).
+    shared_iterations: List[IterationStats] = field(default_factory=list)
+    #: Batched mode only: execution time of each batch's shared timeline.
+    batch_times: List[float] = field(default_factory=list)
     #: Batch-wide counter snapshot (repro.obs); per-query registries live
     #: on each entry of ``queries`` as ``EngineResult.metrics``.
     metrics: Optional[CounterRegistry] = None
@@ -144,8 +160,33 @@ class BatchResult:
 
     @property
     def total_time(self) -> float:
-        """Wall-clock of the batch: one staging plus every query."""
+        """Wall-clock of the batch: one staging plus every execution.
+
+        Serial mode sums the per-query times; batched mode sums the
+        per-batch times (each batch's queries share one timeline, so
+        summing per-query reports would count every batch Q times).
+        """
+        if self.mode == "batched":
+            return self.staging_time + sum(self.batch_times)
         return self.staging_time + sum(self.query_times)
+
+    @property
+    def edges_scanned(self) -> int:
+        """Edge records streamed by scatter across the whole batch.
+
+        This is the amortization headline: batched mode scans each edge
+        once per *batch* instead of once per query.
+        """
+        if self.mode == "batched":
+            return sum(it.edges_scanned for it in self.shared_iterations)
+        return sum(q.edges_scanned for q in self.queries)
+
+    @property
+    def edge_scans_per_query(self) -> float:
+        """Amortized edge records streamed per query."""
+        if not self.queries:
+            return 0.0
+        return self.edges_scanned / self.num_queries
 
     @property
     def amortized_time(self) -> float:
@@ -155,9 +196,15 @@ class BatchResult:
         return self.total_time / self.num_queries
 
     def summary(self) -> str:
+        mode_note = (
+            f", {len(self.batch_times)} shared-scan batches"
+            if self.mode == "batched"
+            else ""
+        )
         lines = [
             f"{self.engine} / {self.algorithm} on {self.graph_name}: "
-            f"{self.num_queries} queries, staged once",
+            f"{self.num_queries} queries ({self.mode}), staged once"
+            f"{mode_note}",
             f"  staging: {format_seconds(self.staging_time)} "
             f"({format_bytes(self.staging_report.bytes_total)})",
         ]

@@ -28,8 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.algorithms.streaming import BFSAlgorithm, StreamingAlgorithm
-from repro.engines.result import EngineResult
+import numpy as np
+
+from repro.algorithms.streaming import (
+    BatchedBFSAlgorithm,
+    BFSAlgorithm,
+    StreamingAlgorithm,
+)
+from repro.engines.result import EngineResult, IterationStats
 from repro.errors import CrashError, EngineError
 from repro.graph.graph import Graph
 from repro.graph.partition import VertexPartitioning
@@ -93,6 +99,61 @@ class StagedGraph:
         )
 
 
+def _assemble_run_state(
+    engine: "EdgeCentricEngine",
+    staged: StagedGraph,
+    algo: StreamingAlgorithm,
+    protect_staged: bool,
+):
+    """Build the per-query ``_RunState`` bundle from a staged artifact."""
+    from repro.engines.base import _RunState  # local: avoid import cycle
+
+    rt = _RunState()
+    rt.graph = staged.graph
+    rt.machine = staged.machine
+    rt.algo = algo
+    rt.partitioning = staged.partitioning
+    rt.in_memory = staged.in_memory
+    rt.dev_edges = staged.dev_edges
+    rt.dev_updates = staged.dev_updates
+    rt.dev_vertices = staged.dev_vertices
+    rt.edge_files = list(staged.edge_files)
+    rt.vertex_files = list(staged.vertex_files)
+    rt.update_in = [None] * staged.partitioning.count
+    rt.extras["partitions"] = float(staged.partitioning.count)
+    rt.extras["in_memory"] = float(staged.in_memory)
+    if protect_staged:
+        rt.protected_files = staged.protected_names()
+    return rt
+
+
+def _drive_passes(engine: "EdgeCentricEngine", rt) -> None:
+    """Run the scatter/gather timeline to convergence (shared by the
+    serial and batched sessions — one timeline either way)."""
+    engine._before_run(rt)
+    pass_updates = engine._scatter_only_pass(rt)
+    iteration = 0
+    while pass_updates > 0:
+        iteration += 1
+        pass_updates = engine._merged_pass(rt, iteration)
+    engine._after_run(rt)
+
+
+def _release_swapped_files(staged: StagedGraph, rt, protect_staged: bool) -> None:
+    """Delete per-query files swapped in over the staged edge files.
+
+    Only meaningful with ``protect_staged``: the artifact's own files are
+    untouched and any stay file a query promoted to edge-input duty is
+    transient session state.
+    """
+    if not protect_staged:
+        return
+    vfs = staged.machine.vfs
+    for p, f in enumerate(rt.edge_files):
+        if f is not staged.edge_files[p]:
+            vfs.delete_if_exists(f.name)
+
+
 class QuerySession:
     """One algorithm execution against a :class:`StagedGraph`.
 
@@ -143,9 +204,19 @@ class QuerySession:
 
     # ------------------------------------------------------------------
     def run(
-        self, root: int = 0, roots: Optional[Sequence[int]] = None
+        self,
+        root: int = 0,
+        roots: Optional[Sequence[int]] = None,
+        validated_roots: Optional[np.ndarray] = None,
     ) -> EngineResult:
         """Execute the session's algorithm from ``root`` (or ``roots``).
+
+        ``validated_roots`` is the boundary-validation passthrough: the
+        engine front doors (``run``/``run_many``) validate every root entry
+        exactly once before staging and hand the validated array here, so
+        the session skips re-validation.  Callers driving a session
+        directly may omit it — the algorithm then validates in
+        ``init_state`` as before.
 
         Returns an :class:`EngineResult` whose report covers this query
         only (unless ``cumulative_report``).  Raises on reuse: per-query
@@ -172,27 +243,16 @@ class QuerySession:
         baseline = None if self.cumulative_report else machine.report()
 
         # Assemble the per-query state bundle from the staged artifact.
-        from repro.engines.base import _RunState  # local: avoid import cycle
-
-        rt = _RunState()
-        rt.graph = staged.graph
-        rt.machine = machine
-        rt.algo = algo
-        rt.partitioning = staged.partitioning
-        rt.in_memory = staged.in_memory
-        rt.dev_edges = staged.dev_edges
-        rt.dev_updates = staged.dev_updates
-        rt.dev_vertices = staged.dev_vertices
-        rt.edge_files = list(staged.edge_files)
-        rt.vertex_files = list(staged.vertex_files)
-        rt.update_in = [None] * staged.partitioning.count
-        rt.extras["partitions"] = float(staged.partitioning.count)
-        rt.extras["in_memory"] = float(staged.in_memory)
-        if self.protect_staged:
-            rt.protected_files = staged.protected_names()
-        rt.state = algo.init_state(
-            staged.graph.num_vertices, roots if roots is not None else [root]
-        )
+        rt = _assemble_run_state(engine, staged, algo, self.protect_staged)
+        if validated_roots is not None:
+            rt.state = algo.init_state_validated(
+                staged.graph.num_vertices, validated_roots
+            )
+        else:
+            rt.state = algo.init_state(
+                staged.graph.num_vertices,
+                roots if roots is not None else [root],
+            )
         if "active" not in rt.state.dtype.names:
             raise EngineError("algorithm state must contain an 'active' field")
 
@@ -205,13 +265,7 @@ class QuerySession:
                 graph=staged.graph.name,
                 roots=[int(r) for r in (roots if roots is not None else [root])],
             ) as q_span:
-                engine._before_run(rt)
-                pass_updates = engine._scatter_only_pass(rt)
-                iteration = 0
-                while pass_updates > 0:
-                    iteration += 1
-                    pass_updates = engine._merged_pass(rt, iteration)
-                engine._after_run(rt)
+                _drive_passes(engine, rt)
                 self._cleanup(rt)
                 q_span.set(iterations=len(rt.iterations))
             if sanitizer is not None:
@@ -233,7 +287,7 @@ class QuerySession:
             # The injected "crash" span was already emitted by the fault
             # injector at the failure point; the open query/iteration spans
             # were closed by their context managers as the error unwound.
-            self._crashed = (root, roots)
+            self._crashed = (root, roots, validated_roots)
             raise
         finally:
             engine._rt = None
@@ -268,7 +322,7 @@ class QuerySession:
         machine = self.staged.machine
         machine.restore(self._checkpoint)
         resumed_at = machine.clock.now
-        root, roots = self._crashed
+        root, roots, validated_roots = self._crashed
         self._crashed = None
         session = QuerySession(
             self.engine,
@@ -278,7 +332,9 @@ class QuerySession:
             cumulative_report=self.cumulative_report,
         )
         try:
-            result = session.run(root=root, roots=roots)
+            result = session.run(
+                root=root, roots=roots, validated_roots=validated_roots
+            )
         except CrashError:
             # Adopt the replay's crash state so the caller can retry from
             # the same quiescent anchor.
@@ -298,15 +354,244 @@ class QuerySession:
 
     # ------------------------------------------------------------------
     def _cleanup(self, rt) -> None:
-        """Delete per-query files swapped in over the staged edge files.
+        _release_swapped_files(self.staged, rt, self.protect_staged)
 
-        Only meaningful with ``protect_staged``: the artifact's own files
-        are untouched and any stay file a query promoted to edge-input duty
-        is transient session state.
+
+class BatchedQuerySession:
+    """One MS-BFS batch: ≤64 queries sharing a single scatter/gather
+    timeline against a :class:`StagedGraph`.
+
+    The session runs a :class:`~repro.algorithms.streaming.
+    BatchedBFSAlgorithm` through exactly the same engine passes as a
+    serial query — one `query` span, one sequence of iteration spans, one
+    delta report — and demultiplexes the batch state into per-query
+    :class:`EngineResult`\\ s whose levels/parents are bit-identical to Q
+    serial runs.  Per-query iteration stats are synthesized from the
+    kernel's per-pass bookkeeping (updates/activated per query per pass);
+    shared-scan counters (edges scanned, partitions processed) belong to
+    the batch timeline and are exposed as :attr:`shared_iterations`, with
+    each demuxed query reporting zero edge scans of its own.
+
+    Sessions are single-use, like :class:`QuerySession`, and support the
+    same crash/recover protocol: on a fault-injected machine the entry
+    checkpoint anchors :meth:`recover`, which replays the whole batch and
+    returns bit-identical per-query results.
+    """
+
+    def __init__(
+        self,
+        engine: "EdgeCentricEngine",
+        staged: StagedGraph,
+        algorithm: BatchedBFSAlgorithm,
+        serial_algorithm: Optional[StreamingAlgorithm] = None,
+        batch_index: int = 0,
+        protect_staged: bool = True,
+        cumulative_report: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.staged = staged
+        self.algorithm = algorithm
+        self.serial = (
+            serial_algorithm if serial_algorithm is not None else algorithm.serial
+        )
+        # The artifact's partition plan was made for the *serial* record
+        # width; the batched kernel streams the same staged files and
+        # charges its own (mask-word) width for per-pass vertex I/O.
+        if not staged.compatible_with(self.serial):
+            raise EngineError(
+                f"staged artifact was planned for {staged.record_bytes}-byte "
+                f"vertex records; algorithm {self.serial.name!r} uses "
+                f"{self.serial.disk_record_bytes} — re-stage for this "
+                "algorithm"
+            )
+        self.batch_index = batch_index
+        self.protect_staged = protect_staged
+        self.cumulative_report = cumulative_report
+        #: Per-pass counters of the shared timeline (set by :meth:`run`).
+        self.shared_iterations: List[IterationStats] = []
+        #: Delta report of the shared timeline (set by :meth:`run`).
+        self.report: Optional[IOReport] = None
+        self._used = False
+        self._checkpoint = None
+        self._crashed: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def run(self, validated_roots: Sequence) -> List[EngineResult]:
+        """Execute the batch; one validated root entry per query slot.
+
+        ``validated_roots`` comes from the engine boundary (``run_many``
+        validates every entry once); each entry is the validated root
+        array of one slot (multi-source slots are allowed).  Returns one
+        demultiplexed :class:`EngineResult` per slot, in order.
         """
-        if not self.protect_staged:
-            return
-        vfs = self.staged.machine.vfs
-        for p, f in enumerate(rt.edge_files):
-            if f is not self.staged.edge_files[p]:
-                vfs.delete_if_exists(f.name)
+        if self._used:
+            raise EngineError(
+                "BatchedQuerySession is single-use: one session per batch"
+            )
+        self._used = True
+        engine = self.engine
+        staged = self.staged
+        machine = staged.machine
+        algo = self.algorithm
+        slots = [np.atleast_1d(np.asarray(r)) for r in validated_roots]
+        sanitizer = getattr(machine, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.begin_session()
+        if getattr(machine, "fault_injector", None) is not None:
+            # Same crash/resume anchor as the serial session: entry is a
+            # quiescent point, recover() rewinds here and replays the batch.
+            self._checkpoint = machine.checkpoint()
+        baseline = None if self.cumulative_report else machine.report()
+
+        rt = _assemble_run_state(engine, staged, algo, self.protect_staged)
+        rt.extras["batch_size"] = float(algo.num_queries)
+        rt.state = algo.init_state_validated(staged.graph.num_vertices, slots)
+
+        engine._rt = rt
+        try:
+            with machine.tracer.span(
+                "query",
+                engine=engine.name,
+                algorithm=algo.name,
+                graph=staged.graph.name,
+                roots=[int(r) for slot in slots for r in slot],
+                batch=self.batch_index,
+                batch_size=algo.num_queries,
+            ) as q_span:
+                _drive_passes(engine, rt)
+                self._cleanup(rt)
+                q_span.set(iterations=len(rt.iterations))
+                # Zero-width per-slot markers inside the batch's query
+                # span; purely observational (never touches the clock).
+                parent = machine.tracer.current_id
+                now = machine.clock.now
+                for q, slot in enumerate(slots):
+                    machine.tracer.emit(
+                        "query_slot",
+                        start=now,
+                        end=now,
+                        parent_id=parent,
+                        batch=self.batch_index,
+                        query_slot=q,
+                        roots=[int(r) for r in slot],
+                        iterations=algo.query_iterations(
+                            q, len(rt.iterations)
+                        ),
+                    )
+            if sanitizer is not None:
+                sanitizer.finalize_session()
+            report = machine.report()
+            if baseline is not None:
+                report = report.minus(baseline)
+            self.report = report
+            self.shared_iterations = rt.iterations
+            return [
+                self._demux_query(rt, report, q)
+                for q in range(algo.num_queries)
+            ]
+        except CrashError:
+            self._crashed = (validated_roots,)
+            raise
+        finally:
+            engine._rt = None
+
+    # ------------------------------------------------------------------
+    def _demux_query(self, rt, report: IOReport, q: int) -> EngineResult:
+        """Per-query result: slot ``q``'s output columns plus iteration
+        stats synthesized from the kernel's per-pass bookkeeping.
+
+        ``updates_generated``/``activated`` match what a serial run of the
+        slot would report per pass; edge scans and partition scheduling
+        happened once for the whole batch and are *not* attributed to any
+        query (they live in :attr:`shared_iterations`).
+        """
+        algo = self.algorithm
+        num_passes = len(rt.iterations)
+        iterations = []
+        for i in range(algo.query_iterations(q, num_passes)):
+            shared = rt.iterations[i] if i < num_passes else None
+            iterations.append(
+                IterationStats(
+                    iteration=i,
+                    updates_generated=int(algo.per_query_updates(i)[q]),
+                    activated=int(algo.per_query_activated(i)[q]),
+                    clock_end=shared.clock_end if shared else 0.0,
+                )
+            )
+        extras = dict(rt.extras)
+        extras["batch"] = float(self.batch_index)
+        extras["query_slot"] = float(q)
+        return EngineResult(
+            engine=self.engine.name,
+            algorithm=self.serial.name,
+            graph_name=self.staged.graph.name,
+            output=algo.query_output(rt.state, q),
+            report=report,
+            iterations=iterations,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    def recover(self) -> List[EngineResult]:
+        """Resume after a :class:`CrashError` killed :meth:`run` mid-batch.
+
+        Rewinds the machine to the entry checkpoint and replays the whole
+        batch in a fresh session (the kernel's per-pass bookkeeping is
+        reset by state re-initialization).  Deterministic replay plus the
+        fault injector's unrewound one-shot budgets mean the replay runs
+        past the crash point and every demultiplexed query is bit-identical
+        to an uncrashed batch; each result carries ``extras["recovered"]``.
+        """
+        if self._crashed is None:
+            raise EngineError(
+                "nothing to recover: the session did not crash "
+                "(recover() is only valid after run() raised CrashError)"
+            )
+        if self._checkpoint is None:
+            raise EngineError(
+                "cannot recover: no entry checkpoint was taken "
+                "(the machine has no fault injector)"
+            )
+        machine = self.staged.machine
+        machine.restore(self._checkpoint)
+        resumed_at = machine.clock.now
+        (validated_roots,) = self._crashed
+        self._crashed = None
+        session = BatchedQuerySession(
+            self.engine,
+            self.staged,
+            self.algorithm,
+            serial_algorithm=self.serial,
+            batch_index=self.batch_index,
+            protect_staged=self.protect_staged,
+            cumulative_report=self.cumulative_report,
+        )
+        try:
+            results = session.run(validated_roots)
+        except CrashError:
+            # Adopt the replay's crash state so the caller can retry from
+            # the same quiescent anchor.
+            self._crashed = session._crashed
+            raise
+        self.report = session.report
+        self.shared_iterations = session.shared_iterations
+        if machine.fault_injector is not None:
+            machine.fault_injector.record_recovery()
+        machine.tracer.emit(
+            "recover",
+            start=resumed_at,
+            end=resumed_at,
+            engine=self.engine.name,
+            roots=[int(r) for slot in validated_roots
+                   for r in np.atleast_1d(np.asarray(slot))],
+            batch=self.batch_index,
+        )
+        for result in results:
+            result.extras["recovered"] = (
+                result.extras.get("recovered", 0.0) + 1.0
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _cleanup(self, rt) -> None:
+        _release_swapped_files(self.staged, rt, self.protect_staged)

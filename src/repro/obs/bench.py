@@ -33,7 +33,16 @@ from repro.errors import ReproError
 from repro.obs.profile import profile_trace
 
 #: Bump when the snapshot layout changes incompatibly.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2: multi-query scenarios (``kind="multi-query"``) recording the MS-BFS
+#: edge-scan amortization metric alongside the single-query cells.
+SNAPSHOT_SCHEMA_VERSION = 2
+
+#: Queries per tracked multi-query cell (matches bench_multi_query.py).
+MULTI_QUERY_Q = 8
+
+#: Hard ceiling on the batched/serial edge-scan ratio the multi-query
+#: scenario asserts (the ISSUE-7 amortization acceptance bound).
+MULTI_QUERY_MAX_AMORTIZATION = 0.2
 
 SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -44,22 +53,30 @@ class BenchError(ReproError):
 
 @dataclass(frozen=True)
 class Scenario:
-    """One (engine, hardware) cell of the tracked benchmark set."""
+    """One (engine, hardware) cell of the tracked benchmark set.
+
+    ``kind="single"`` is one traced BFS run; ``kind="multi-query"`` runs
+    the same Q-root batch twice through ``run_many`` — serial rewind and
+    MS-BFS batched — and records the edge-scan amortization ratio.
+    """
 
     name: str
     engine: str
     dataset: str = "rmat25"
     disk_kind: str = "hdd"
     num_disks: int = 1
+    kind: str = "single"
 
 
-#: The tracked set: the paper's three engines on one HDD, plus FastBFS's
-#: two-disk rotation (Fig. 7's configuration).
+#: The tracked set: the paper's three engines on one HDD, FastBFS's
+#: two-disk rotation (Fig. 7's configuration), and the multi-query
+#: amortization cell (ISSUE 7: batched MS-BFS vs serial rewind).
 DEFAULT_SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("graphchi", "graphchi"),
     Scenario("x-stream", "x-stream"),
     Scenario("fastbfs", "fastbfs"),
     Scenario("fastbfs-2disk", "fastbfs-2disk", num_disks=2),
+    Scenario("fastbfs-multiquery", "fastbfs", kind="multi-query"),
 )
 
 
@@ -90,13 +107,83 @@ TOLERANCES: Dict[str, Tolerance] = {
     "iowait_ratio": Tolerance(abs=0.02, worse="higher"),
     "iterations": Tolerance(abs=0.0, worse="any"),
     "trim_effectiveness": Tolerance(abs=0.02, worse="lower"),
+    # Multi-query cell: batched/serial edge-scan ratio (lower is better)
+    # and the batched batch's end-to-end time.
+    "edge_scan_amortization": Tolerance(abs=0.01, worse="higher"),
+    "batched_time": Tolerance(rel=0.02, worse="higher"),
 }
 
 
 # ----------------------------------------------------------------------
 # collection
 # ----------------------------------------------------------------------
+def _multi_query_entry(runner, sc: Scenario) -> Dict[str, object]:
+    """The amortization cell: Q-root batch, serial vs MS-BFS batched.
+
+    Asserts the batch contract while measuring it: batched per-query
+    levels/parents must be bit-identical to the serial rewind path, and
+    the batched run must scan at most
+    :data:`MULTI_QUERY_MAX_AMORTIZATION` of the serial edge total.
+    """
+    import numpy as np
+
+    graph = runner.graph(sc.dataset)
+    order = np.argsort(-graph.out_degrees())
+    roots = [int(v) for v in order[:MULTI_QUERY_Q]]
+    serial = runner.run_batch(
+        sc.dataset, sc.engine, roots,
+        disk_kind=sc.disk_kind, num_disks=sc.num_disks, mode="serial",
+    )
+    batched = runner.run_batch(
+        sc.dataset, sc.engine, roots,
+        disk_kind=sc.disk_kind, num_disks=sc.num_disks, mode="batched",
+    )
+    if batched.mode != "batched":
+        raise BenchError(
+            f"scenario {sc.name!r}: engine {sc.engine!r} fell back to "
+            "serial execution; the amortization cell needs a batched kernel"
+        )
+    for qs, qb in zip(serial.queries, batched.queries):
+        if not (
+            np.array_equal(qs.levels, qb.levels)
+            and np.array_equal(qs.parents, qb.parents)
+        ):
+            raise BenchError(
+                f"scenario {sc.name!r}: batched query "
+                f"{qb.query_index} diverged from the serial result"
+            )
+    amortization = (
+        batched.edges_scanned / serial.edges_scanned
+        if serial.edges_scanned
+        else 0.0
+    )
+    if amortization > MULTI_QUERY_MAX_AMORTIZATION:
+        raise BenchError(
+            f"scenario {sc.name!r}: batched mode scanned "
+            f"{amortization:.3f}x the serial edge total "
+            f"(bound {MULTI_QUERY_MAX_AMORTIZATION})"
+        )
+    return {
+        "engine": sc.engine,
+        "dataset": sc.dataset,
+        "disk_kind": sc.disk_kind,
+        "num_disks": sc.num_disks,
+        "kind": sc.kind,
+        "queries": MULTI_QUERY_Q,
+        "batches": len(batched.batch_times),
+        "iterations": len(batched.shared_iterations),
+        "edges_scanned": batched.edges_scanned,
+        "serial_edges_scanned": serial.edges_scanned,
+        "edge_scans_per_query": batched.edge_scans_per_query,
+        "edge_scan_amortization": amortization,
+        "batched_time": batched.total_time,
+        "serial_time": serial.total_time,
+    }
+
+
 def _scenario_entry(runner, sc: Scenario) -> Dict[str, object]:
+    if sc.kind == "multi-query":
+        return _multi_query_entry(runner, sc)
     result, machine, tracer = runner.run_traced(
         sc.dataset,
         sc.engine,
@@ -153,7 +240,9 @@ def collect_snapshot(
 
     derived: Dict[str, float] = {}
     times = {
-        name: doc["execution_time"] for name, doc in scenario_docs.items()
+        name: doc["execution_time"]
+        for name, doc in scenario_docs.items()
+        if "execution_time" in doc
     }
     if "fastbfs" in times:
         for other in ("x-stream", "graphchi"):

@@ -6,8 +6,10 @@ regimen*.  :func:`run_chaos` sweeps a deterministic family of fault plans
 — transient read/write errors, latency spikes, torn stay-file writes, a
 probabilistic mid-query crash point, and (in some trials) a persistent
 media error — across the FastBFS and X-Stream engines on one- and
-two-disk machines, and holds every surviving run to the only acceptable
-standard: **bit-identical BFS levels** against the in-memory reference
+two-disk machines (plus MS-BFS batched-session cells, where a mid-batch
+crash replays the whole shared-scan batch), and holds every surviving
+run to the only acceptable standard: **bit-identical BFS levels**
+against the in-memory reference
 (:func:`repro.algorithms.reference.bfs_levels`).
 
 A trial ends in exactly one of four outcomes:
@@ -41,7 +43,7 @@ violation — the CI ``chaos-smoke`` job does exactly this) or call
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,13 +64,24 @@ from repro.storage.machine import Machine
 from repro.utils.rng import rng_from_seed
 from repro.utils.units import KB, MB
 
-#: (engine name, disk count) scenarios each sweep cycles through.
-SCENARIOS: Tuple[Tuple[str, int], ...] = (
-    ("fastbfs", 1),
-    ("fastbfs", 2),
-    ("x-stream", 1),
-    ("x-stream", 2),
+if TYPE_CHECKING:
+    from repro.engines.session import StagedGraph
+
+#: (engine name, disk count, session mode) scenarios each sweep cycles
+#: through.  ``"single"`` cells run one QuerySession; ``"batched"`` cells
+#: run a Q-root MS-BFS :class:`~repro.engines.session.BatchedQuerySession`
+#: so seeded mid-batch faults exercise the shared-scan crash/recover path.
+SCENARIOS: Tuple[Tuple[str, int, str], ...] = (
+    ("fastbfs", 1, "single"),
+    ("fastbfs", 2, "single"),
+    ("x-stream", 1, "single"),
+    ("x-stream", 2, "single"),
+    ("fastbfs", 1, "batched"),
+    ("fastbfs", 2, "batched"),
 )
+
+#: Queries per batched chaos cell (hub plus next best-connected roots).
+BATCH_QUERIES = 4
 
 #: How many times a single trial will call ``recover()`` before declaring
 #: the crash schedule unrecoverable (each crash spec is one-shot, so this
@@ -113,6 +126,7 @@ class ChaosTrial:
     disks: int
     seed: int
     outcome: str  # "ok" | "recovered" | "typed-error" | "violation"
+    mode: str = "single"
     detail: str = ""
     faults_injected: int = 0
     retries: int = 0
@@ -120,8 +134,8 @@ class ChaosTrial:
 
     def describe(self) -> str:
         base = (
-            f"trial {self.index:3d} [{self.engine}/{self.disks}d seed "
-            f"{self.seed}] {self.outcome}"
+            f"trial {self.index:3d} [{self.engine}/{self.disks}d/"
+            f"{self.mode} seed {self.seed}] {self.outcome}"
         )
         extras = (
             f" (faults={self.faults_injected}, retries={self.retries}, "
@@ -283,14 +297,53 @@ def _reconcile(machine: Machine) -> List[str]:
     return problems
 
 
+def _run_batched_session(
+    engine: EdgeCentricEngine,
+    staged: "StagedGraph",
+    graph: Graph,
+    roots: List[int],
+) -> Tuple[List[EngineResult], int]:
+    """One MS-BFS batch against ``staged`` with the crash/recover loop.
+
+    Returns ``(results, recoveries)`` where ``results`` is the demuxed
+    per-query list; raises like the serial path when the schedule is
+    unrecoverable.
+    """
+    from repro.algorithms.streaming import BFSAlgorithm
+    from repro.engines.session import BatchedQuerySession
+
+    algo = BFSAlgorithm()
+    validated = [
+        algo.validate_roots(graph.num_vertices, [r]) for r in roots
+    ]
+    session = BatchedQuerySession(
+        engine, staged, algo.batched(len(validated)), serial_algorithm=algo
+    )
+    recoveries = 0
+    results: Optional[List[EngineResult]] = None
+    try:
+        results = session.run(validated)
+    except CrashError:
+        while results is None:
+            recoveries += 1
+            if recoveries > MAX_RECOVERIES:
+                raise
+            try:
+                results = session.recover()
+            except CrashError:
+                continue
+    return results, recoveries
+
+
 def _run_trial(
     index: int,
     engine_name: str,
     disks: int,
+    mode: str,
     trial_seed: int,
     graph: Graph,
-    root: int,
-    reference: np.ndarray,
+    roots: List[int],
+    references: List[np.ndarray],
 ) -> ChaosTrial:
     rng = rng_from_seed(trial_seed)
     plan = _trial_plan(rng, trial_seed)
@@ -298,24 +351,31 @@ def _run_trial(
     engine = _make_engine(engine_name, disks, RetryPolicy(max_attempts=4))
     trial = ChaosTrial(
         index=index, engine=engine_name, disks=disks, seed=trial_seed,
-        outcome="violation",
+        outcome="violation", mode=mode,
     )
     recoveries = 0
-    result: Optional[EngineResult] = None
+    results: Optional[List[EngineResult]] = None
     try:
         staged = engine.stage(graph, machine)
-        session = engine.session(staged)
-        try:
-            result = session.run(root=root)
-        except CrashError:
-            while result is None:
-                recoveries += 1
-                if recoveries > MAX_RECOVERIES:
-                    raise
-                try:
-                    result = session.recover()
-                except CrashError:
-                    continue
+        if mode == "batched":
+            results, recoveries = _run_batched_session(
+                engine, staged, graph, roots
+            )
+        else:
+            session = engine.session(staged)
+            result: Optional[EngineResult] = None
+            try:
+                result = session.run(root=roots[0])
+            except CrashError:
+                while result is None:
+                    recoveries += 1
+                    if recoveries > MAX_RECOVERIES:
+                        raise
+                    try:
+                        result = session.recover()
+                    except CrashError:
+                        continue
+            results = [result]
     except ReproError as exc:
         trial.outcome = "typed-error"
         trial.detail = f"{type(exc).__name__}: {exc}"
@@ -328,15 +388,16 @@ def _run_trial(
         trial.faults_injected = injector.faults_injected
         trial.retries = injector.total("io_retries")
         trial.recoveries = injector.total("crash_recoveries")
-    if result is not None:
-        levels = np.asarray(result.output["level"])
-        if not np.array_equal(levels, reference):
-            trial.outcome = "violation"
-            trial.detail = (
-                f"levels diverge from reference at "
-                f"{int(np.argmax(levels != reference))}"
-            )
-            return trial
+    if results is not None:
+        for q, result in enumerate(results):
+            levels = np.asarray(result.output["level"])
+            if not np.array_equal(levels, references[q]):
+                trial.outcome = "violation"
+                trial.detail = (
+                    f"query {q} levels diverge from reference at "
+                    f"{int(np.argmax(levels != references[q]))}"
+                )
+                return trial
         trial.outcome = "recovered" if recoveries else "ok"
     problems = _reconcile(machine)
     if problems:
@@ -370,21 +431,26 @@ def run_chaos(
     graph = rmat_graph(
         scale=prof.scale, edge_factor=prof.edge_factor, seed=prof.graph_seed
     )
-    root = int(np.argmax(graph.out_degrees()))
-    reference = bfs_levels(graph, root)
+    # Hub root for single-session cells; the batched cells pack the hub
+    # plus the next best-connected roots into one MS-BFS batch.
+    order = np.argsort(-graph.out_degrees())
+    roots = [int(v) for v in order[:BATCH_QUERIES]]
+    references = [bfs_levels(graph, r) for r in roots]
     records: List[ChaosTrial] = []
     for index in range(count):
-        engine_name, disks = SCENARIOS[index % len(SCENARIOS)]
+        engine_name, disks, mode = SCENARIOS[index % len(SCENARIOS)]
         trial_seed = seed * 1_000_003 + index
         records.append(
             _run_trial(
-                index, engine_name, disks, trial_seed, graph, root, reference
+                index, engine_name, disks, mode, trial_seed, graph, roots,
+                references,
             )
         )
     return ChaosReport(profile=prof.name, seed=seed, trials=records)
 
 
 __all__ = [
+    "BATCH_QUERIES",
     "ChaosProfile",
     "ChaosReport",
     "ChaosTrial",

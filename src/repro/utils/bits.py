@@ -1,0 +1,39 @@
+"""Bit-manipulation primitives for the MS-BFS batched kernels.
+
+Lives in ``utils`` (not ``engines``) so both the algorithm kernels and the
+cost model can use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def popcount64(masks: np.ndarray) -> int:
+    """Total set bits across an array of ``uint64`` liveness masks.
+
+    One set bit = one serial-equivalent unit of per-query update work; the
+    batched kernels use this to weight shuffle/gather cost charging (see
+    ``repro.engines.costs``).
+    """
+    if len(masks) == 0:
+        return 0
+    flat = np.ascontiguousarray(masks, dtype=np.uint64)
+    return int(np.unpackbits(flat.view(np.uint8)).sum())
+
+
+def mask_bit_counts(masks: np.ndarray, width: int) -> np.ndarray:
+    """Per-bit set counts over ``uint64`` masks, for bits ``0..width-1``.
+
+    Column ``q`` is how many masks carry query ``q``'s bit — the per-query
+    update counts a batched scatter pass generated.
+    """
+    if len(masks) == 0:
+        return np.zeros(width, dtype=np.int64)
+    bits = np.unpackbits(
+        np.ascontiguousarray(masks, dtype=np.uint64).view(np.uint8)
+        .reshape(-1, 8),
+        axis=1,
+        bitorder="little",
+    )
+    return bits.sum(axis=0, dtype=np.int64)[:width]

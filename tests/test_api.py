@@ -98,6 +98,16 @@ class TestRunQueries:
         batch = run_queries(graph, [0, [0, 1]], memory="8MB")
         assert batch.queries[1].levels[1] == 0
 
+    def test_batched_mode_matches_serial(self, graph):
+        roots = [0, int(np.argmax(graph.out_degrees()))]
+        serial = run_queries(graph, roots, memory="8MB")
+        batched = run_queries(graph, roots, memory="8MB", mode="batched")
+        assert batched.mode == "batched"
+        assert batched.edges_scanned < serial.edges_scanned
+        for qs, qb in zip(serial.queries, batched.queries):
+            assert np.array_equal(qs.levels, qb.levels)
+            assert np.array_equal(qs.parents, qb.parents)
+
     def test_machine_and_kwargs_conflict(self, graph):
         with pytest.raises(ConfigError):
             run_queries(

@@ -111,6 +111,18 @@ class TestBatch:
                         "--verbose"]) == 0
         assert "iter" in capsys.readouterr().out
 
+    def test_batched_mode_reports_shared_scans(self, graph_file, capsys):
+        assert run_cli(["batch", "--graph", graph_file, "--roots", "0", "5",
+                        "9", "--batch"]) == 0
+        text = capsys.readouterr().out
+        assert "shared-scan batch" in text
+        assert "edges scanned" in text
+
+    def test_batched_mode_falls_back_for_graphchi(self, graph_file, capsys):
+        assert run_cli(["batch", "--graph", graph_file, "--engine", "graphchi",
+                        "--roots", "0", "5", "--batch"]) == 0
+        assert "serial fallback" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_compare_prints_speedups(self, tmp_path, capsys):

@@ -1,0 +1,241 @@
+"""Differential suite for the MS-BFS batched scheduler.
+
+Every case runs the same root list through ``run_many`` twice — serial
+rewind and ``mode="batched"`` shared scans — and checks that the batched
+path is *observationally identical* per query:
+
+* levels and parents match bit-for-bit (and agree with the in-memory
+  reference BFS);
+* per-query iteration counts match;
+* per-query update totals match (the demuxed per-pass bookkeeping);
+* the batch scans strictly fewer edge records than the serial rewind
+  whenever more than one query shares a batch.
+
+The matrix reuses the graph/config/placement axes of the main
+differential suite and adds the batching-specific ones: batch widths 1,
+2, 64 (exactly one full mask) and 65 (spills into a second batch),
+early-converging queries (isolated roots that finish in one pass while
+hub queries keep scanning), duplicate roots, and multi-source slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import bfs_levels
+from repro.algorithms.validation import validate_bfs_result
+from repro.core.engine import FastBFSEngine
+from repro.engines.xstream import XStreamEngine
+from repro.graph.generators import random_graph, rmat_graph
+from repro.graph.graph import Graph
+from tests.helpers import fresh_machine, small_fastbfs_config
+
+from tests.test_differential import _config_for, _graph_for, _placement_for
+
+NUM_CASES = 12
+
+
+def _roots_for(graph: Graph, i: int) -> list:
+    """A deterministic root list mixing hubs, periphery and dead ends.
+
+    Always includes at least one zero-out-degree vertex when the graph
+    has one, so every case exercises an early-converging query slot.
+    """
+    deg = graph.out_degrees()
+    order = np.argsort(-deg)
+    q = (2, 3, 5, 8)[i % 4]
+    roots = [int(v) for v in order[:q]]
+    dead = np.flatnonzero(deg == 0)
+    if len(dead):
+        roots[-1] = int(dead[i % len(dead)])
+    if i % 3 == 0 and len(roots) > 1:
+        roots[1] = roots[0]  # duplicate root: identical slots must agree
+    return roots
+
+
+def _run_both(graph, cfg, num_disks, memory_kb, roots, engine_cls=FastBFSEngine):
+    serial = engine_cls(cfg).run_many(
+        graph,
+        fresh_machine(num_disks=num_disks, memory=memory_kb * 1024),
+        roots=roots,
+        mode="serial",
+    )
+    batched = engine_cls(cfg).run_many(
+        graph,
+        fresh_machine(num_disks=num_disks, memory=memory_kb * 1024),
+        roots=roots,
+        mode="batched",
+    )
+    return serial, batched
+
+
+def _assert_batch_matches_serial(serial, batched, roots, graph=None):
+    assert serial.mode == "serial"
+    assert batched.mode == "batched"
+    assert batched.num_queries == serial.num_queries == len(roots)
+    for q, (qs, qb) in enumerate(zip(serial.queries, batched.queries)):
+        assert np.array_equal(qs.levels, qb.levels), f"query {q} levels"
+        assert np.array_equal(qs.parents, qb.parents), f"query {q} parents"
+        assert qs.num_iterations == qb.num_iterations, f"query {q} iterations"
+        assert qs.updates_generated == qb.updates_generated, f"query {q} updates"
+        assert qs.query_index == qb.query_index == q
+        assert qs.extras["query_index"] == qb.extras["query_index"] == float(q)
+        if graph is not None and np.isscalar(roots[q]):
+            ref = bfs_levels(graph, int(roots[q]))
+            assert np.array_equal(qb.levels, ref), f"query {q} vs reference"
+            report = validate_bfs_result(
+                graph, int(roots[q]), qb.levels, qb.parents,
+                reference_levels=ref,
+            )
+            assert report.ok, f"query {q}: {report.errors}"
+
+
+@pytest.mark.parametrize("case", range(NUM_CASES))
+def test_batched_matches_serial(case):
+    graph = _graph_for(case)
+    cfg = _config_for(case)
+    num_disks, memory_kb = _placement_for(case)
+    if (cfg.rotate_streams or cfg.stay_disk) and num_disks < 2:
+        num_disks = 2
+    roots = _roots_for(graph, case)
+
+    serial, batched = _run_both(graph, cfg, num_disks, memory_kb, roots)
+    _assert_batch_matches_serial(serial, batched, roots, graph=graph)
+
+    # The whole point: one shared timeline scans fewer edge records than
+    # Q rewinds (Q > 1 in every case of this matrix).
+    assert len(batched.batch_times) == 1
+    assert batched.edges_scanned < serial.edges_scanned
+
+
+@pytest.mark.parametrize("width", [1, 2, 64, 65])
+def test_batch_width_boundaries(width):
+    """Batch packing at the mask boundaries: 1, 2, exactly 64, and spill."""
+    graph = random_graph(120, 900, seed=7)
+    deg = graph.out_degrees()
+    candidates = [int(v) for v in np.flatnonzero(deg > 0)]
+    roots = [candidates[i % len(candidates)] for i in range(width)]
+
+    serial, batched = _run_both(graph, small_fastbfs_config(), 1, 256, roots)
+    _assert_batch_matches_serial(serial, batched, roots, graph=graph)
+    assert len(batched.batch_times) == (2 if width > 64 else 1)
+    assert batched.extras["num_batches"] == float(len(batched.batch_times))
+    if width > 1:
+        assert batched.edges_scanned < serial.edges_scanned
+
+
+def test_early_converging_queries_keep_their_own_iteration_counts():
+    """Dead-end roots stop at one pass; hub queries keep their full depth."""
+    base = random_graph(100, 600, seed=3)
+    # Tack on isolated vertices: BFS from one converges immediately.
+    src, dst = base.edges["src"], base.edges["dst"]
+    graph = Graph.from_arrays(base.num_vertices + 4, src, dst, name="tail")
+    hub = int(np.argmax(graph.out_degrees()))
+    isolated = graph.num_vertices - 1
+    roots = [hub, isolated, hub, isolated]
+
+    serial, batched = _run_both(graph, small_fastbfs_config(), 1, 256, roots)
+    _assert_batch_matches_serial(serial, batched, roots, graph=graph)
+    per_q = [q.num_iterations for q in batched.queries]
+    assert per_q[1] == per_q[3] == 1
+    assert per_q[0] == per_q[2] > 1
+    # The isolated query's output is just its own root.
+    lv = batched.queries[1].levels
+    assert lv[isolated] == 0 and (lv >= 0).sum() == 1
+
+
+def test_multi_source_slots_batch_like_serial():
+    """A roots entry may itself be a root list (one multi-source query)."""
+    graph = rmat_graph(scale=8, edge_factor=8, seed=21)
+    deg = graph.out_degrees()
+    order = [int(v) for v in np.argsort(-deg)]
+    roots = [[order[0], order[5]], order[1], [order[2], order[3], order[4]]]
+
+    serial, batched = _run_both(graph, small_fastbfs_config(), 1, 256, roots)
+    _assert_batch_matches_serial(serial, batched, roots)
+
+
+def test_xstream_bfs_batches_too():
+    """The batched kernel is engine-agnostic: X-Stream BFS shares scans."""
+    from tests.helpers import small_engine_config
+
+    graph = random_graph(80, 500, seed=5)
+    deg = graph.out_degrees()
+    roots = [int(v) for v in np.argsort(-deg)[:3]]
+
+    serial = XStreamEngine(small_engine_config()).run_many(
+        graph,
+        fresh_machine(num_disks=1, memory=256 * 1024),
+        roots=roots,
+        mode="serial",
+    )
+    batched = XStreamEngine(small_engine_config()).run_many(
+        graph,
+        fresh_machine(num_disks=1, memory=256 * 1024),
+        roots=roots,
+        mode="batched",
+    )
+    _assert_batch_matches_serial(serial, batched, roots, graph=graph)
+    assert batched.edges_scanned < serial.edges_scanned
+
+
+def test_unbatchable_algorithm_falls_back_to_serial():
+    """WCC has no batched kernel: mode='batched' silently runs serially."""
+    from repro.algorithms.streaming import WCCAlgorithm
+
+    graph = random_graph(80, 500, seed=5).symmetrized()
+    roots = [0, 1, 2]
+
+    batch = FastBFSEngine(small_fastbfs_config()).run_many(
+        graph,
+        fresh_machine(num_disks=1, memory=256 * 1024),
+        roots=roots,
+        mode="batched",
+        algorithm=WCCAlgorithm(),
+    )
+    assert batch.mode == "serial"
+    assert batch.extras["batched_fallback"] == 1.0
+
+    reference = FastBFSEngine(small_fastbfs_config()).run_many(
+        graph,
+        fresh_machine(num_disks=1, memory=256 * 1024),
+        roots=roots,
+        mode="serial",
+        algorithm=WCCAlgorithm(),
+    )
+    for qs, qb in zip(reference.queries, batch.queries):
+        assert np.array_equal(qs.output["label"], qb.output["label"])
+        assert qs.report.execution_time == qb.report.execution_time
+
+
+def test_serial_mode_unchanged_by_the_refactor():
+    """mode='serial' is the default and still rewinds per query."""
+    graph = random_graph(90, 500, seed=9)
+    deg = graph.out_degrees()
+    roots = [int(v) for v in np.argsort(-deg)[:3]]
+
+    default = FastBFSEngine(small_fastbfs_config()).run_many(
+        graph, fresh_machine(num_disks=1, memory=256 * 1024), roots=roots
+    )
+    explicit = FastBFSEngine(small_fastbfs_config()).run_many(
+        graph,
+        fresh_machine(num_disks=1, memory=256 * 1024),
+        roots=roots,
+        mode="serial",
+    )
+    assert default.mode == explicit.mode == "serial"
+    for qd, qe in zip(default.queries, explicit.queries):
+        assert np.array_equal(qd.levels, qe.levels)
+        assert qd.report.execution_time == qe.report.execution_time
+    assert default.total_time == explicit.total_time
+
+
+def test_bad_mode_rejected():
+    from repro.errors import ConfigError
+
+    graph = random_graph(40, 200, seed=1)
+    with pytest.raises(ConfigError):
+        FastBFSEngine(small_fastbfs_config()).run_many(
+            graph, fresh_machine(), roots=[0], mode="parallel"
+        )

@@ -229,6 +229,95 @@ class TestSpanNesting:
         assert len(tracer.find("stage")) == 1
 
 
+class TestBatchedSpanNesting:
+    """Batched mode: one query span per batch with query_slot markers.
+
+    The nesting invariants are *extended* for MS-BFS, not relaxed: every
+    iteration span still nests in a query span, and each batch's span
+    additionally carries ``batch``/``batch_size`` attributes plus one
+    zero-width ``query_slot`` child per packed query.
+    """
+
+    @pytest.fixture(scope="class")
+    def batched(self):
+        graph = random_graph(300, 2000, seed=8)
+        machine = fresh_machine(num_disks=1)
+        tracer = Tracer()
+        machine.attach_tracer(tracer)
+        batch = FastBFSEngine(small_fastbfs_config()).run_many(
+            graph, machine, roots=[0, 7, 19], mode="batched"
+        )
+        assert batch.mode == "batched"
+        return batch, machine, tracer
+
+    def test_one_query_span_per_batch_with_batch_attrs(self, batched):
+        batch, _, tracer = batched
+        queries = tracer.find("query")
+        assert len(queries) == 1  # 3 roots pack into one 64-wide batch
+        (span,) = queries
+        assert span.attrs["batch"] == 0
+        assert span.attrs["batch_size"] == 3
+        assert span.attrs["iterations"] == len(tracer.find("iteration"))
+
+    def test_iterations_nest_in_the_batch_query_span(self, batched):
+        _, _, tracer = batched
+        (query,) = tracer.find("query")
+        iterations = tracer.find("iteration")
+        assert iterations
+        for it in iterations:
+            assert it.parent_id == query.span_id
+            assert query.start <= it.start and it.end <= query.end
+
+    def test_one_query_slot_marker_per_packed_query(self, batched):
+        batch, _, tracer = batched
+        (query,) = tracer.find("query")
+        slots = tracer.find("query_slot")
+        assert len(slots) == 3
+        for q, slot in enumerate(sorted(slots, key=lambda s: s.attrs["query_slot"])):
+            assert slot.parent_id == query.span_id
+            assert slot.start == slot.end  # zero-width marker
+            assert query.start <= slot.start <= query.end
+            assert slot.attrs["batch"] == 0
+            assert slot.attrs["query_slot"] == q
+            assert slot.attrs["iterations"] == batch.queries[q].num_iterations
+
+    def test_children_lie_inside_their_parents(self, batched):
+        _, _, tracer = batched
+        by_id = {s.span_id: s for s in tracer.spans}
+        for s in tracer.spans:
+            if s.parent_id is None:
+                continue
+            parent = by_id[s.parent_id]
+            assert parent.start <= s.start and s.end <= parent.end
+
+    def test_counters_reconcile_with_the_report_in_batched_mode(self, batched):
+        batch, machine, _ = batched
+        registry = CounterRegistry.from_machine(machine)
+        errors = registry.reconcile(machine.report())
+        assert errors == []
+        # Every query of the batch shares the batch's delta report, and a
+        # report-derived registry reconciles with it bit-for-bit.
+        for q in batch.queries:
+            assert CounterRegistry.from_report(q.report).reconcile(q.report) == []
+
+    def test_batched_tracing_is_timing_neutral(self):
+        graph = random_graph(300, 2000, seed=8)
+
+        plain_machine = fresh_machine(num_disks=1)
+        plain = FastBFSEngine(small_fastbfs_config()).run_many(
+            graph, plain_machine, roots=[0, 7, 19], mode="batched"
+        )
+        traced_machine = fresh_machine(num_disks=1)
+        traced_machine.attach_tracer(Tracer())
+        traced = FastBFSEngine(small_fastbfs_config()).run_many(
+            graph, traced_machine, roots=[0, 7, 19], mode="batched"
+        )
+        assert plain.total_time == traced.total_time
+        for qp, qt in zip(plain.queries, traced.queries):
+            assert np.array_equal(qp.levels, qt.levels)
+            assert qp.report.execution_time == qt.report.execution_time
+
+
 # ----------------------------------------------------------------------
 # No-op-tracer equivalence (tracing is free in simulated time)
 # ----------------------------------------------------------------------
@@ -408,6 +497,19 @@ class TestApiSurface:
         for q in batch.queries:
             assert q.metrics is not None
             assert q.metrics.reconcile(q.report) == []
+
+    def test_run_queries_batched_mode_exports_and_reconciles(self, tmp_path):
+        graph = random_graph(300, 2400, seed=4)
+        trace = tmp_path / "batched.jsonl"
+        batch = run_queries(graph, roots=[1, 5], engine="fastbfs",
+                            mode="batched", trace_path=str(trace))
+        assert batch.mode == "batched"
+        assert batch.metrics is not None
+        for q in batch.queries:
+            assert q.metrics is not None
+            assert q.metrics.reconcile(q.report) == []
+        names = {s.name for s in read_spans_jsonl(str(trace))}
+        assert {"stage", "query", "query_slot", "iteration"} <= names
 
     def test_no_export_requested_leaves_metrics_unset(self):
         graph = random_graph(200, 1200, seed=6)

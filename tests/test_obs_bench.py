@@ -117,7 +117,34 @@ class TestCollection:
 
     def test_default_scenarios_cover_the_paper_matrix(self):
         names = {sc.name for sc in DEFAULT_SCENARIOS}
-        assert {"fastbfs", "x-stream", "graphchi", "fastbfs-2disk"} <= names
+        assert {"fastbfs", "x-stream", "graphchi", "fastbfs-2disk",
+                "fastbfs-multiquery"} <= names
+        kinds = {sc.name: sc.kind for sc in DEFAULT_SCENARIOS}
+        assert kinds["fastbfs-multiquery"] == "multi-query"
+
+    def test_multi_query_scenario_records_amortization(self):
+        from repro.obs.bench import (
+            MULTI_QUERY_MAX_AMORTIZATION,
+            MULTI_QUERY_Q,
+        )
+
+        doc = collect_snapshot(
+            runner=ExperimentRunner(divisor=DIVISOR),
+            scenarios=(
+                Scenario("fastbfs-multiquery", "fastbfs", kind="multi-query"),
+            ),
+        )
+        entry = doc["scenarios"]["fastbfs-multiquery"]
+        assert entry["kind"] == "multi-query"
+        assert entry["queries"] == MULTI_QUERY_Q
+        assert entry["batches"] == 1
+        assert 0 < entry["edges_scanned"] < entry["serial_edges_scanned"]
+        assert (
+            0.0
+            < entry["edge_scan_amortization"]
+            <= MULTI_QUERY_MAX_AMORTIZATION
+        )
+        assert entry["batched_time"] < entry["serial_time"]
 
 
 class TestFiles:
@@ -225,7 +252,10 @@ class TestGate:
         assert set(TOLERANCES) == {
             "execution_time", "input_bytes", "total_bytes",
             "iowait_ratio", "iterations", "trim_effectiveness",
+            "edge_scan_amortization", "batched_time",
         }
+        assert TOLERANCES["edge_scan_amortization"].worse == "higher"
+        assert TOLERANCES["batched_time"].worse == "higher"
 
 
 # ----------------------------------------------------------------------
