@@ -1,0 +1,147 @@
+"""Serving smoke check: boot the query service, burst it, reconcile.
+
+End-to-end exercise of ``repro.serve`` (see ``docs/serving.md``) used by
+the CI ``serve-smoke`` job:
+
+1. boot a ``GraphService`` on an ephemeral port with a small R-MAT graph
+   warmed up at registration;
+2. fire a 16-request concurrent burst of single-root BFS queries over
+   HTTP and check every answer is bit-identical to a serial
+   ``api.run_queries`` over the same roots;
+3. check ``/healthz`` and that ``/metrics`` reconciles **exactly**
+   (``CounterRegistry.reconcile``) against the merged per-request
+   reports (deduped by ``report_id``) plus the staging report;
+4. print the coalescing achieved (flush sizes, served amortization).
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+import http.client
+import json
+import sys
+import threading
+
+from repro.api import run_queries, serve
+from repro.graph.generators import rmat_graph
+from repro.obs.exporters import parse_prometheus
+from repro.storage.machine import IOReport, merge_reports
+
+SPEC = "smoke@rmat:scale=9,edge_factor=8,seed=17"
+BURST = 16
+ROOTS = [(7 * i) % 500 for i in range(BURST)]
+
+
+def _request(port, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode())
+    finally:
+        conn.close()
+
+
+def _request_text(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    service = serve(port=0, warmup=[SPEC], block=False)
+    try:
+        port = service.port
+        print(f"service listening on 127.0.0.1:{port}")
+
+        status, health = _request(port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        assert "smoke" in health["graphs"], health
+
+        bodies = [None] * BURST
+        errors = []
+
+        def worker(i):
+            try:
+                st, body = _request(
+                    port, "POST", "/graphs/smoke/bfs", {"root": ROOTS[i]}
+                )
+                assert st == 200, body
+                bodies[i] = body
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((i, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(BURST)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            for i, exc in errors:
+                print(f"request {i} failed: {exc!r}", file=sys.stderr)
+            return 1
+
+        serial = run_queries(
+            rmat_graph(scale=9, edge_factor=8, seed=17), ROOTS
+        )
+        for i, body in enumerate(bodies):
+            assert body["result"]["levels"] == serial.queries[i].levels.tolist()
+            assert (
+                body["result"]["parents"] == serial.queries[i].parents.tolist()
+            )
+        print(f"{BURST} served answers bit-identical to serial run_queries")
+
+        flushes = {}
+        for body in bodies:
+            flushes[body["flush"]["id"]] = body["flush"]["size"]
+        assert sum(flushes.values()) == BURST, flushes
+        assert all(1 <= size <= 64 for size in flushes.values()), flushes
+        print(
+            f"coalesced into {len(flushes)} flush(es), "
+            f"sizes {sorted(flushes.values(), reverse=True)}"
+        )
+
+        status, stats = _request(port, "GET", "/graphs/smoke/stats")
+        assert status == 200, stats
+        reports = {"__staging__": IOReport.from_dict(stats["staging_report"])}
+        for body in bodies:
+            reports[body["report_id"]] = IOReport.from_dict(body["report"])
+        merged = merge_reports(list(reports.values()))
+
+        status, metrics = _request_text(port, "/metrics")
+        assert status == 200
+        mismatches = parse_prometheus(metrics).reconcile(merged)
+        assert mismatches == [], mismatches
+        print(
+            "/metrics reconciles exactly with "
+            f"{len(reports) - 1} deduped request report(s) + staging"
+        )
+
+        served_bytes = sum(
+            d.bytes_read + d.bytes_written for d in merged.devices
+        )
+        serial_bytes = sum(
+            d.bytes_read + d.bytes_written
+            for d in merge_reports(
+                [serial.staging_report] + [q.report for q in serial.queries]
+            ).devices
+        )
+        print(
+            f"served amortization: {served_bytes / serial_bytes:.3f}x "
+            f"of serial bytes ({served_bytes} vs {serial_bytes})"
+        )
+        return 0
+    finally:
+        service.shutdown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

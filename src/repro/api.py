@@ -17,7 +17,7 @@ from repro.engines.base import EngineConfig
 from repro.engines.graphchi import GraphChiConfig, GraphChiEngine
 from repro.engines.result import BatchResult, EngineResult
 from repro.engines.xstream import XStreamEngine
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EngineError
 from repro.graph.graph import Graph
 from repro.obs import (
     CounterRegistry,
@@ -191,12 +191,63 @@ def run_queries(
     attach registries to the batch (``batch.metrics``) and to every query
     (``query.metrics``, built from that query's delta report).
     """
+    if len(roots) == 0:
+        # Validate at the API boundary: an empty batch used to travel all
+        # the way into the engine before failing.
+        raise EngineError(
+            "run_queries needs at least one root entry (got an empty list)"
+        )
     machine = _resolve_machine(machine, machine_kwargs)
     _prepare_tracing(machine, trace_path)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
     batch = eng.run_many(graph, machine, roots=roots, mode=mode)
     export_observability(machine, batch, trace_path, metrics_path)
     return batch
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    warmup: Sequence[str] = (),
+    engine: str = "fastbfs",
+    capacity: int = 128,
+    max_graphs: int = 4,
+    block: bool = True,
+):
+    """Boot the long-lived graph query service (see docs/serving.md).
+
+    Stages every ``warmup`` graph spec into the artifact registry, binds
+    the HTTP/JSON API on ``host:port`` (port 0 picks an ephemeral port)
+    and — with ``block=True`` — serves until interrupted.  ``block=False``
+    returns the running :class:`~repro.serve.app.GraphService` (serving on
+    a daemon thread) for embedding and tests; call ``service.shutdown()``
+    to drain and stop it.
+
+    ``warmup`` entries are dataset names from the Table II registry
+    (``rmat22``), generator specs (``rmat:scale=12,edge_factor=8,seed=7``)
+    or either form aliased as ``name@spec``.  ``capacity`` bounds the
+    per-graph admission queue; ``max_graphs`` bounds the registry LRU.
+    """
+    from repro.serve import GraphService
+
+    service = GraphService(
+        host=host,
+        port=port,
+        warmup=warmup,
+        engine=engine,
+        capacity=capacity,
+        max_graphs=max_graphs,
+    )
+    service.start()
+    if not block:
+        return service
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        service.shutdown()
+    return service
 
 
 def analyze_tree(

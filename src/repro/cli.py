@@ -205,6 +205,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="scale divisor (default 1024 for speed)")
     shapes.add_argument("--datasets", nargs="*", default=["rmat25"])
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="boot the long-lived graph query service (docs/serving.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8080,
+                         help="bind port; 0 picks an ephemeral port")
+    serve_p.add_argument(
+        "--warmup", nargs="*", default=[], metavar="SPEC",
+        help="graph specs staged at boot: a dataset name ('rmat22'), a "
+             "generator spec ('rmat:scale=12,edge_factor=8,seed=7'), or "
+             "'name@spec' to alias",
+    )
+    serve_p.add_argument("--engine", choices=["fastbfs", "x-stream"],
+                         default="fastbfs",
+                         help="engine staged artifacts are built for")
+    serve_p.add_argument("--capacity", type=int, default=128,
+                         help="per-graph admission queue capacity")
+    serve_p.add_argument("--max-graphs", type=int, default=4,
+                         help="artifact registry LRU size")
+
     rep = sub.add_parser(
         "reproduce",
         help="run the paper's experiments and write a markdown report",
@@ -695,6 +717,31 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve
+
+    service = serve(
+        host=args.host,
+        port=args.port,
+        warmup=args.warmup,
+        engine=args.engine,
+        capacity=args.capacity,
+        max_graphs=args.max_graphs,
+        block=False,
+    )
+    graphs = ", ".join(sorted(service.registry.names())) or "(none)"
+    print(f"serving on {service.address}  graphs: {graphs}")
+    print("endpoints: /healthz /metrics /graphs "
+          "/graphs/<name>/{bfs,sssp,pagerank,stats}")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...")
+    finally:
+        service.shutdown()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -710,6 +757,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "gantt": cmd_gantt,
         "shapes": cmd_shapes,
+        "serve": cmd_serve,
         "reproduce": cmd_reproduce,
     }
     try:

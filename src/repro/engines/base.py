@@ -31,7 +31,6 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.algorithms.streaming import (
-    BATCH_WIDTH,
     AlgoContext,
     BFSAlgorithm,
     StreamingAlgorithm,
@@ -247,8 +246,7 @@ class EdgeCentricEngine:
 
         Returns a :class:`~repro.engines.result.BatchResult`.
         """
-        from repro.engines.result import BatchResult
-        from repro.engines.session import BatchedQuerySession, QuerySession
+        from repro.engines.session import run_staged_queries
 
         algo = algorithm if algorithm is not None else BFSAlgorithm()
         if len(roots) == 0:
@@ -259,73 +257,33 @@ class EdgeCentricEngine:
             )
         self._check_fresh(machine)
         sanitizer = self._ensure_sanitizer(machine)
-        validated = [
+        # Validate every entry before any machine state changes.
+        for entry in roots:
             algo.validate_roots(
                 graph.num_vertices,
                 entry if _is_root_sequence(entry) else [entry],
             )
-            for entry in roots
-        ]
-        extras: Dict[str, float] = {}
-        batched = mode == "batched" and algo.batched(1) is not None
-        if mode == "batched" and not batched:
-            extras["batched_fallback"] = 1.0
         staged = self.stage(graph, machine, algorithm=algo)
         checkpoint = machine.checkpoint()
-        queries: List[EngineResult] = []
-        shared_iterations: List[IterationStats] = []
-        batch_times: List[float] = []
-        if batched:
-            for num_batches, start in enumerate(
-                range(0, len(validated), BATCH_WIDTH)
-            ):
-                chunk = validated[start:start + BATCH_WIDTH]
-                if num_batches:
-                    machine.restore(checkpoint)
-                session = BatchedQuerySession(
-                    self,
-                    staged,
-                    algo.batched(len(chunk)),
-                    serial_algorithm=algo,
-                    batch_index=num_batches,
-                )
-                results = session.run(chunk)
-                shared_iterations.extend(session.shared_iterations)
-                batch_times.append(session.report.execution_time)
-                queries.extend(results)
-            extras["num_batches"] = float(len(batch_times))
-        else:
-            for q, entry in enumerate(roots):
-                if q:
-                    machine.restore(checkpoint)
-                session = QuerySession(self, staged, algorithm=algo)
-                if _is_root_sequence(entry):
-                    result = session.run(
-                        roots=entry, validated_roots=validated[q]
-                    )
-                else:
-                    result = session.run(
-                        root=int(entry), validated_roots=validated[q]
-                    )
-                queries.append(result)
-        for q, result in enumerate(queries):
-            result.query_index = q
-            result.extras["query_index"] = float(result.query_index)
-        if sanitizer is not None:
-            extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
-            sanitizer.finalize_run()
-            extras["sanitizer_violations"] = float(len(sanitizer.violations))
-        return BatchResult(
-            engine=self.name,
-            algorithm=algo.name,
-            graph_name=graph.name,
-            staging_report=staged.staging_report,
-            queries=queries,
-            extras=extras,
-            mode="batched" if batched else "serial",
-            shared_iterations=shared_iterations,
-            batch_times=batch_times,
+        # The machine sits exactly at the checkpoint here, so the first
+        # execution needs no rewind: restore_first=False keeps this path
+        # bit-for-bit the historical behaviour.
+        batch = run_staged_queries(
+            self,
+            staged,
+            checkpoint,
+            roots,
+            algorithm=algo,
+            mode=mode,
+            restore_first=False,
         )
+        if sanitizer is not None:
+            batch.extras["sanitizer_past_waits"] = float(sanitizer.past_waits)
+            sanitizer.finalize_run()
+            batch.extras["sanitizer_violations"] = float(
+                len(sanitizer.violations)
+            )
+        return batch
 
     def session(self, staged, algorithm: Optional[StreamingAlgorithm] = None):
         """A fresh single-use :class:`QuerySession` against ``staged``."""

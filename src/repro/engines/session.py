@@ -154,6 +154,112 @@ def _release_swapped_files(staged: StagedGraph, rt, protect_staged: bool) -> Non
             vfs.delete_if_exists(f.name)
 
 
+def run_staged_queries(
+    engine: "EdgeCentricEngine",
+    staged: StagedGraph,
+    checkpoint,
+    roots: Sequence,
+    algorithm: Optional[StreamingAlgorithm] = None,
+    mode: str = "serial",
+    restore_first: bool = True,
+):
+    """Run one query per ``roots`` entry against an existing artifact.
+
+    The registry-safe core of ``engine.run_many``: instead of demanding a
+    fresh machine and staging inline, this takes a :class:`StagedGraph`
+    plus the post-staging :class:`~repro.storage.machine.MachineCheckpoint`
+    and rewinds the machine to that quiescent point around every execution.
+    A long-lived front door (``repro.serve``) stages once at registration
+    and calls this for every request batch; the artifact's files are
+    protected by the sessions, so the checkpoint stays valid forever.
+
+    ``restore_first`` controls whether the machine is rewound before the
+    *first* execution too: a server reusing a machine whose state is dirty
+    from the previous batch needs it; ``run_many`` (whose machine is
+    exactly at the checkpoint when the loop starts) passes False to stay
+    bit-for-bit the historical behaviour.  Modes are as in ``run_many``:
+    ``"serial"`` rewinds between queries, ``"batched"`` packs MS-BFS
+    batches of up to :data:`~repro.algorithms.streaming.BATCH_WIDTH` and
+    rewinds between batches, falling back to serial (recorded in
+    ``extras["batched_fallback"]``) for algorithms without a batched
+    kernel.  Returns a :class:`~repro.engines.result.BatchResult` whose
+    ``staging_report`` is the artifact's (staging was paid when the
+    artifact was built, not here).
+    """
+    from repro.algorithms.streaming import BATCH_WIDTH
+    from repro.engines.base import _is_root_sequence
+    from repro.engines.result import BatchResult
+    from repro.errors import ConfigError
+
+    algo = algorithm if algorithm is not None else BFSAlgorithm()
+    if len(roots) == 0:
+        raise EngineError("run_staged_queries needs at least one root entry")
+    if mode not in ("serial", "batched"):
+        raise ConfigError(
+            f"mode must be 'serial' or 'batched', got {mode!r}"
+        )
+    machine = staged.machine
+    validated = [
+        algo.validate_roots(
+            staged.graph.num_vertices,
+            entry if _is_root_sequence(entry) else [entry],
+        )
+        for entry in roots
+    ]
+    extras: dict = {}
+    batched = mode == "batched" and algo.batched(1) is not None
+    if mode == "batched" and not batched:
+        extras["batched_fallback"] = 1.0
+    queries: List[EngineResult] = []
+    shared_iterations: List[IterationStats] = []
+    batch_times: List[float] = []
+    if batched:
+        for num_batches, start in enumerate(
+            range(0, len(validated), BATCH_WIDTH)
+        ):
+            chunk = validated[start:start + BATCH_WIDTH]
+            if num_batches or restore_first:
+                machine.restore(checkpoint)
+            session = BatchedQuerySession(
+                engine,
+                staged,
+                algo.batched(len(chunk)),
+                serial_algorithm=algo,
+                batch_index=num_batches,
+            )
+            results = session.run(chunk)
+            shared_iterations.extend(session.shared_iterations)
+            batch_times.append(session.report.execution_time)
+            queries.extend(results)
+        extras["num_batches"] = float(len(batch_times))
+    else:
+        for q, entry in enumerate(roots):
+            if q or restore_first:
+                machine.restore(checkpoint)
+            session = QuerySession(engine, staged, algorithm=algo)
+            if _is_root_sequence(entry):
+                result = session.run(roots=entry, validated_roots=validated[q])
+            else:
+                result = session.run(
+                    root=int(entry), validated_roots=validated[q]
+                )
+            queries.append(result)
+    for q, result in enumerate(queries):
+        result.query_index = q
+        result.extras["query_index"] = float(result.query_index)
+    return BatchResult(
+        engine=engine.name,
+        algorithm=algo.name,
+        graph_name=staged.graph.name,
+        staging_report=staged.staging_report,
+        queries=queries,
+        extras=extras,
+        mode="batched" if batched else "serial",
+        shared_iterations=shared_iterations,
+        batch_times=batch_times,
+    )
+
+
 class QuerySession:
     """One algorithm execution against a :class:`StagedGraph`.
 

@@ -85,5 +85,25 @@ class ValidationError(ReproError):
     """A computed result failed validation against a reference."""
 
 
+class ServeError(ReproError):
+    """A graph query service request could not be satisfied."""
+
+
+class UnknownGraphError(ServeError):
+    """A request named a graph the artifact registry has not staged."""
+
+
+class QueueFullError(ServeError):
+    """The admission queue is saturated; retry after the suggested delay.
+
+    Carries ``retry_after`` (seconds) so the HTTP layer can emit a 429
+    with a deterministic ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SanitizerError(ReproError):
     """The runtime sanitizer detected a simulation-protocol violation."""

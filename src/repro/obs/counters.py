@@ -86,6 +86,22 @@ class Histogram:
         self.sum += float(value)
         self.count += 1.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Bucket bounds must match — histograms with different bounds are
+        different metrics.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with buckets {other.buckets} "
+                f"into {self.buckets}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+
     def cumulative(self) -> List[Tuple[float, float]]:
         """(upper bound, cumulative count) pairs, ending with (+Inf, count)."""
         out: List[Tuple[float, float]] = []
@@ -156,6 +172,32 @@ class CounterRegistry:
     ) -> None:
         """Install a fully-built histogram series (parser plumbing)."""
         self._histograms[_key(name, labels)] = hist
+
+    def merge(self, other: "CounterRegistry") -> "CounterRegistry":
+        """Fold every series of ``other`` into this registry (adding).
+
+        Scalar series add per ``(name, labels)`` key; histogram series with
+        a matching key merge bucket-wise (bounds must agree).  This is how
+        the serving layer folds per-flush registries into the long-lived
+        ``/metrics`` registry: because ``device_bytes_total`` /
+        ``device_seeks_total`` are pure sums of per-report counters, the
+        merged registry still reconciles exactly against the
+        :func:`~repro.storage.machine.merge_reports` sum of the same
+        reports.
+        """
+        for (name, labels), value in other._values.items():
+            key = (name, labels)
+            self._values[key] = self._values.get(key, 0.0) + value
+        for (name, labels), hist in other._histograms.items():
+            key = (name, labels)
+            mine = self._histograms.get(key)
+            if mine is None:
+                copy = Histogram(hist.buckets)
+                copy.merge(hist)
+                self._histograms[key] = copy
+            else:
+                mine.merge(hist)
+        return self
 
     # ------------------------------------------------------------------
     # queries

@@ -26,6 +26,10 @@ from repro.obs.tracer import Span, Tracer
 #: Keys every JSONL trace line must carry, in emission order.
 SPAN_SCHEMA = ("span_id", "parent_id", "name", "start", "end", "attrs")
 
+#: Content type of the text exposition format `to_prometheus` emits
+#: (what a scraper expects on a ``/metrics`` endpoint).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
 
 class ExportError(ReproError):
     """Raised on malformed trace/metrics payloads."""
@@ -275,6 +279,7 @@ def _parse_labels(body: str, lineno: int) -> dict:
 
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "SPAN_SCHEMA",
     "ExportError",
     "spans_to_jsonl",

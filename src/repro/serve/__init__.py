@@ -1,0 +1,29 @@
+"""Long-lived graph query service over staged artifacts.
+
+``repro serve`` / :func:`repro.api.serve` front door: an
+:class:`~repro.serve.registry.ArtifactRegistry` of named staged graphs,
+an :class:`~repro.serve.admission.AdmissionController` per graph that
+coalesces concurrent BFS requests into MS-BFS batches, and a stdlib
+HTTP/JSON API (:class:`~repro.serve.app.GraphService`).  See
+docs/serving.md.
+"""
+
+from repro.serve.admission import AdmissionController, FlushRecord, Ticket
+from repro.serve.app import GraphService
+from repro.serve.registry import (
+    ArtifactRegistry,
+    GraphEntry,
+    SERVABLE_ENGINES,
+    parse_graph_spec,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ArtifactRegistry",
+    "FlushRecord",
+    "GraphEntry",
+    "GraphService",
+    "SERVABLE_ENGINES",
+    "Ticket",
+    "parse_graph_spec",
+]

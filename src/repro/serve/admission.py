@@ -1,0 +1,303 @@
+"""Admission control: bounded queues coalescing BFS requests into batches.
+
+The serving-side half of the MS-BFS amortization argument: batched
+execution (`run_many(mode="batched")`, PR 7) only pays off when many
+concurrent root queries share one edge-scan timeline, and it is admission
+control that *produces* that sharing.  Each registered graph gets one
+:class:`AdmissionController` holding a bounded FIFO of tickets; concurrent
+HTTP threads enqueue their roots and then compete for the flush lock
+(leader/follower): whichever thread wins drains up to
+:data:`~repro.algorithms.streaming.BATCH_WIDTH` tickets and runs them as
+**one** batched `run_staged_queries` call, fulfilling every drained
+ticket's event; the losers just wait on their tickets.  A full queue
+rejects deterministically (:class:`~repro.errors.QueueFullError`, mapped
+to HTTP 429 + ``Retry-After``).
+
+The controller's state machine is exposed as synchronous primitives —
+:meth:`offer`, :meth:`flush`, :meth:`drain_pending` — so the accept/reject
+batching behaviour is testable deterministically, single-threaded, without
+any HTTP or thread scheduling in the loop.  :meth:`submit` is the
+thread-facing composition the HTTP layer uses.  :meth:`hold` /
+:meth:`release` gate flushing (tickets still accumulate) for
+drain-on-shutdown tests.
+
+Every flush attaches a fresh simulated-clock
+:class:`~repro.obs.tracer.Tracer` to the machine (tracing is
+timing/byte-neutral) and hands the per-flush delta reports, engine
+counters and span histograms to a ``metrics_sink`` callback — the service
+merges them into the long-lived ``/metrics`` registry, preserving the
+exact-reconciliation invariant (see docs/serving.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.algorithms.streaming import BATCH_WIDTH
+from repro.engines.session import run_staged_queries
+from repro.errors import QueueFullError, ServeError
+from repro.obs.counters import CounterRegistry
+from repro.obs.tracer import Tracer
+from repro.serve.registry import GraphEntry
+
+#: Bucket bounds for the ``serve_flush_size`` histogram (roots per flush).
+FLUSH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, float(BATCH_WIDTH))
+
+
+class Ticket:
+    """One admitted request: a root entry waiting for its flush."""
+
+    __slots__ = (
+        "request_id", "entry", "enqueued_at", "queue_wait",
+        "done", "result", "report", "flush_id", "flush_size", "error",
+    )
+
+    def __init__(self, request_id: str, entry: Union[int, Sequence[int]]):
+        self.request_id = request_id
+        self.entry = entry
+        self.enqueued_at = time.monotonic()
+        self.queue_wait = 0.0
+        self.done = threading.Event()
+        self.result = None          # EngineResult once fulfilled
+        self.report = None          # that flush's delta IOReport
+        self.flush_id: Optional[str] = None
+        self.flush_size = 0
+        self.error: Optional[BaseException] = None
+
+
+class FlushRecord:
+    """What one flush executed (returned by :meth:`flush` for tests)."""
+
+    __slots__ = ("flush_id", "tickets", "report", "registry")
+
+    def __init__(self, flush_id, tickets, report, registry):
+        self.flush_id = flush_id
+        self.tickets = tickets
+        self.report = report
+        self.registry = registry
+
+    @property
+    def size(self) -> int:
+        return len(self.tickets)
+
+
+class AdmissionController:
+    """Bounded, coalescing admission queue for one registered graph."""
+
+    def __init__(
+        self,
+        entry: GraphEntry,
+        capacity: int = 128,
+        batch_width: int = BATCH_WIDTH,
+        metrics_sink: Optional[Callable[[CounterRegistry], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServeError(f"queue capacity must be >= 1, got {capacity}")
+        if not 1 <= batch_width <= BATCH_WIDTH:
+            raise ServeError(
+                f"batch width must be in [1, {BATCH_WIDTH}], "
+                f"got {batch_width}"
+            )
+        self.entry = entry
+        self.capacity = capacity
+        self.batch_width = batch_width
+        self.metrics_sink = metrics_sink
+        self._queue: "deque[Ticket]" = deque()
+        self._mutex = threading.Lock()     # guards queue + counters
+        self._held = False
+        self._closed = False
+        self._flush_count = 0
+        self._accepted = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # deterministic primitives
+    # ------------------------------------------------------------------
+    def offer(
+        self, request_id: str, entry: Union[int, Sequence[int]]
+    ) -> Ticket:
+        """Admit one root entry or raise.
+
+        Deterministic: accepts iff the queue holds fewer than ``capacity``
+        tickets at the instant of the call; a saturated queue raises
+        :class:`QueueFullError` whose ``retry_after`` is the (integer)
+        number of full flushes needed to drain the backlog.  A closed
+        (shutting-down) controller raises :class:`ServeError`.
+        """
+        with self._mutex:
+            if self._closed:
+                raise ServeError(
+                    f"graph {self.entry.name!r} is shutting down"
+                )
+            pending = len(self._queue)
+            if pending >= self.capacity:
+                self._rejected += 1
+                flushes_needed = -(-pending // self.batch_width)  # ceil
+                raise QueueFullError(
+                    f"admission queue for {self.entry.name!r} is full "
+                    f"({pending}/{self.capacity})",
+                    retry_after=float(max(1, flushes_needed)),
+                )
+            ticket = Ticket(request_id, entry)
+            self._queue.append(ticket)
+            self._accepted += 1
+            return ticket
+
+    def flush(self) -> Optional[FlushRecord]:
+        """Drain up to ``batch_width`` tickets and run them as one batch.
+
+        Serialized on the entry lock (the machine rewinds to the staging
+        checkpoint around the batch).  Returns None when the queue was
+        empty.  Every drained ticket is fulfilled — on engine failure the
+        exception is recorded on each ticket instead of lost.
+        """
+        with self.entry.lock:
+            with self._mutex:
+                if not self._queue:
+                    return None
+                tickets = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_width, len(self._queue)))
+                ]
+                self._flush_count += 1
+                flush_id = f"{self.entry.name}-flush-{self._flush_count:06d}"
+            drained_at = time.monotonic()
+            for t in tickets:
+                t.queue_wait = drained_at - t.enqueued_at
+                t.flush_id = flush_id
+                t.flush_size = len(tickets)
+            try:
+                record = self._execute(flush_id, tickets)
+            except BaseException as exc:
+                for t in tickets:
+                    t.error = exc
+                    t.done.set()
+                raise
+            for t in tickets:
+                t.done.set()
+            return record
+
+    def _execute(self, flush_id: str, tickets: List[Ticket]) -> FlushRecord:
+        entry = self.entry
+        tracer = Tracer()
+        entry.machine.attach_tracer(tracer)
+        batch = run_staged_queries(
+            entry.engine,
+            entry.staged,
+            entry.checkpoint,
+            [t.entry for t in tickets],
+            mode="batched",
+        )
+        # All queries of one <=BATCH_WIDTH flush share a single batch
+        # timeline, hence a single delta report object.
+        report = batch.queries[0].report
+        registry = CounterRegistry.from_report(report)
+        for ticket, result in zip(tickets, batch.queries):
+            ticket.result = result
+            ticket.report = report
+            registry.ingest_result(result)
+        registry.ingest_spans(tracer)
+        registry.inc(
+            "serve_flushes_total", 1.0, graph=entry.name
+        )
+        registry.inc(
+            "serve_flushed_queries_total", float(len(tickets)),
+            graph=entry.name,
+        )
+        registry.observe(
+            "serve_flush_size", float(len(tickets)),
+            buckets=FLUSH_SIZE_BUCKETS, graph=entry.name,
+        )
+        with self._mutex:
+            entry.queries_served += len(tickets)
+            entry.flushes += 1
+        if self.metrics_sink is not None:
+            self.metrics_sink(registry)
+        return FlushRecord(flush_id, tickets, report, registry)
+
+    def drain_pending(self) -> int:
+        """Flush until the queue is empty; returns tickets fulfilled."""
+        total = 0
+        while True:
+            record = self.flush()
+            if record is None:
+                return total
+            total += record.size
+
+    # ------------------------------------------------------------------
+    # flush gating (shutdown/drain tests)
+    # ------------------------------------------------------------------
+    def hold(self) -> None:
+        """Stop :meth:`submit` threads from flushing (tickets still queue)."""
+        with self._mutex:
+            self._held = True
+
+    def release(self) -> None:
+        with self._mutex:
+            self._held = False
+
+    def stop_accepting(self) -> None:
+        """Reject new offers from now on (shutdown)."""
+        with self._mutex:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # thread-facing composition
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request_id: str,
+        entry: Union[int, Sequence[int]],
+        poll_interval: float = 0.005,
+    ) -> Ticket:
+        """Admit, then leader-or-wait until the ticket is fulfilled.
+
+        The calling thread loops: if its ticket is already fulfilled it
+        returns; otherwise it tries to run a flush itself (becoming this
+        round's leader) unless the controller is held.  Each flush retires
+        at least one ticket while the queue is non-empty, so the loop
+        terminates.  Engine failures recorded on the ticket re-raise here.
+        """
+        ticket = self.offer(request_id, entry)
+        while not ticket.done.is_set():
+            with self._mutex:
+                held = self._held
+            if held:
+                ticket.done.wait(poll_interval)
+                continue
+            self.flush()
+            ticket.done.wait(poll_interval)
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._mutex:
+            return len(self._queue)
+
+    def counters(self) -> dict:
+        with self._mutex:
+            return {
+                "queue_depth": len(self._queue),
+                "capacity": self.capacity,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+                "flushes": self._flush_count,
+                "held": self._held,
+                "closed": self._closed,
+            }
+
+
+__all__ = [
+    "AdmissionController",
+    "FLUSH_SIZE_BUCKETS",
+    "FlushRecord",
+    "Ticket",
+]

@@ -1,0 +1,613 @@
+"""HTTP/JSON front door for the graph query service.
+
+Stdlib only (``http.server`` + ``ThreadingHTTPServer`` — no new runtime
+deps): each request runs on its own thread, BFS requests funnel through
+the per-graph :class:`~repro.serve.admission.AdmissionController` (so
+concurrent roots coalesce into MS-BFS batches), SSSP/PageRank run as
+serial staged queries under the graph's entry lock.
+
+Endpoints (details + curl examples in docs/serving.md):
+
+* ``GET  /healthz`` — liveness + registered graph list.
+* ``GET  /metrics`` — Prometheus text exposition of the service registry.
+* ``GET  /graphs`` — registered graph names.
+* ``POST /graphs/{name}`` — register a graph from a spec
+  (``{"spec": "rmat:scale=10,edge_factor=8,seed=7"}``).
+* ``GET  /graphs/{name}/stats`` — artifact + serving statistics.
+* ``POST /graphs/{name}/bfs`` — ``{"root": 3}`` or ``{"roots": [3, 4]}``
+  (one multi-source query); coalesced + batched.
+* ``POST /graphs/{name}/sssp`` — ``{"root": 3, "max_weight": 8}``.
+* ``POST /graphs/{name}/pagerank`` — ``{"rounds": 5, "damping": 0.85}``.
+
+Every response carries ``X-Request-Id``; query responses additionally
+carry queue-wait and simulated-time breakdown headers plus the flush id
+(``report_id``) that keys the per-flush delta
+:class:`~repro.storage.machine.IOReport` echoed in the JSON body — the
+handle the metrics-reconciliation tests dedup shared batch reports by.
+
+The ``/metrics`` registry is **exactly reconcilable**: it is built purely
+by merging per-staging and per-flush ``CounterRegistry.from_report``
+registries (plus engine counters, span histograms and ``serve_*``
+series), so ``parse_prometheus(metrics).reconcile(merge_reports(staging
+reports + unique flush reports)) == []`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.algorithms.pagerank import PageRankAlgorithm
+from repro.algorithms.sssp import WeightedSSSPAlgorithm, hash_weights
+from repro.algorithms.streaming import BFSAlgorithm
+from repro.engines.session import run_staged_queries
+from repro.errors import (
+    ConfigError,
+    EngineError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+    UnknownGraphError,
+)
+from repro.obs.counters import CounterRegistry
+from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE, to_prometheus
+from repro.obs.tracer import Tracer
+from repro.serve.admission import AdmissionController
+from repro.serve.registry import ArtifactRegistry, GraphEntry, parse_graph_spec
+
+JSON_CONTENT_TYPE = "application/json"
+
+#: Bucket bounds for the ``serve_queue_wait_seconds`` histogram (wall
+#: seconds a request sat in the admission queue).
+QUEUE_WAIT_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+QUERY_ALGORITHMS = ("bfs", "sssp", "pagerank")
+
+
+class _RequestProblem(Exception):
+    """Internal: an HTTP error response (status + typed JSON body)."""
+
+    def __init__(self, status: int, kind: str, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+        self.headers = headers or {}
+
+
+def _problem_for(exc: Exception) -> _RequestProblem:
+    """Map a library exception to its HTTP problem."""
+    if isinstance(exc, _RequestProblem):
+        return exc
+    if isinstance(exc, UnknownGraphError):
+        return _RequestProblem(404, "unknown_graph", str(exc))
+    if isinstance(exc, QueueFullError):
+        return _RequestProblem(
+            429, "queue_full", str(exc),
+            headers={"Retry-After": f"{exc.retry_after:g}"},
+        )
+    if isinstance(exc, ServeError):
+        return _RequestProblem(503, "shutting_down", str(exc))
+    if isinstance(exc, EngineError):
+        return _RequestProblem(400, "bad_root", str(exc))
+    if isinstance(exc, ConfigError):
+        return _RequestProblem(400, "bad_request", str(exc))
+    if isinstance(exc, ReproError):
+        return _RequestProblem(500, "internal_error", str(exc))
+    return _RequestProblem(
+        500, "internal_error", f"{type(exc).__name__}: {exc}"
+    )
+
+
+class GraphService:
+    """The long-lived serving process: registry + admission + HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        warmup: Sequence[str] = (),
+        engine: str = "fastbfs",
+        capacity: int = 128,
+        max_graphs: int = 4,
+        config=None,
+        machine_factory=None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.capacity = capacity
+        self.registry = ArtifactRegistry(
+            engine=engine,
+            config=config,
+            machine_factory=machine_factory,
+            max_graphs=max_graphs,
+        )
+        self._warmup_specs = tuple(warmup)
+        self._controllers: Dict[str, AdmissionController] = {}
+        self._control_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._registry_metrics = CounterRegistry()
+        self._request_lock = threading.Lock()
+        self._request_count = 0
+        self._draining = False
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "GraphService":
+        """Warm up the registry, bind the socket, serve on a thread."""
+        for spec in self._warmup_specs:
+            name, graph = parse_graph_spec(spec)
+            self.register(name, graph)
+        service = self
+
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True
+            # Survive bursts of simultaneous connects (the admission
+            # queue, not the TCP backlog, is the intended choke point).
+            request_queue_size = 128
+
+        self._httpd = _Server((self.host, self._requested_port), _Handler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ServeError("service is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block until the serving thread exits (shutdown() from afar)."""
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop serving.  ``drain=True`` fulfills every queued ticket first.
+
+        New query/registration requests are rejected (503) the moment this
+        is called; queued BFS tickets are flushed to completion so no
+        admitted request is ever dropped, then the HTTP loop stops.
+        """
+        self._draining = True
+        with self._control_lock:
+            controllers = list(self._controllers.values())
+        for controller in controllers:
+            controller.stop_accepting()
+            controller.release()
+            if drain:
+                controller.drain_pending()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # registry plumbing
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph) -> GraphEntry:
+        """Stage ``graph`` under ``name`` and account its staging I/O."""
+        if self._draining:
+            raise ServeError("service is shutting down")
+        entry = self.registry.register(name, graph)
+        if entry.staged.staging_report is not None:
+            staging = CounterRegistry.from_report(entry.staged.staging_report)
+            staging.inc("serve_graphs_registered_total", 1.0, graph=name)
+            self._merge_metrics(staging)
+        return entry
+
+    def controller(self, entry: GraphEntry) -> AdmissionController:
+        """The admission controller bound to ``entry`` (created lazily)."""
+        with self._control_lock:
+            controller = self._controllers.get(entry.name)
+            if controller is None or controller.entry is not entry:
+                controller = AdmissionController(
+                    entry,
+                    capacity=self.capacity,
+                    metrics_sink=self._merge_metrics,
+                )
+                self._controllers[entry.name] = controller
+            return controller
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _merge_metrics(self, registry: CounterRegistry) -> None:
+        with self._metrics_lock:
+            self._registry_metrics.merge(registry)
+
+    def metrics_snapshot(self) -> CounterRegistry:
+        """Copy of the service registry (safe to export/reconcile)."""
+        snap = CounterRegistry()
+        with self._metrics_lock:
+            snap.merge(self._registry_metrics)
+        return snap
+
+    def _count_request(
+        self, graph: str, algorithm: str, status: int,
+        queue_wait: Optional[float] = None,
+    ) -> None:
+        with self._metrics_lock:
+            self._registry_metrics.inc(
+                "serve_requests_total",
+                1.0,
+                graph=graph,
+                algorithm=algorithm,
+                status=status,
+            )
+            if queue_wait is not None:
+                self._registry_metrics.observe(
+                    "serve_queue_wait_seconds",
+                    queue_wait,
+                    buckets=QUEUE_WAIT_BUCKETS,
+                    graph=graph,
+                )
+
+    def next_request_id(self) -> str:
+        with self._request_lock:
+            self._request_count += 1
+            return f"req-{self._request_count:06d}"
+
+    @property
+    def requests_served(self) -> int:
+        with self._request_lock:
+            return self._request_count
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def handle_query(
+        self, name: str, algorithm: str, payload: Dict, request_id: str
+    ) -> Tuple[Dict, Dict[str, str]]:
+        """Run one query; returns (JSON body, extra headers).
+
+        Raises library errors for the handler to map to HTTP problems.
+        """
+        if self._draining:
+            raise ServeError("service is shutting down")
+        entry = self.registry.get(name)
+        if algorithm == "bfs":
+            return self._handle_bfs(entry, payload, request_id)
+        if algorithm == "sssp":
+            return self._handle_serial(
+                entry, payload, request_id, "sssp"
+            )
+        if algorithm == "pagerank":
+            return self._handle_serial(
+                entry, payload, request_id, "pagerank"
+            )
+        raise _RequestProblem(
+            404, "not_found",
+            f"unknown algorithm {algorithm!r}; options: {QUERY_ALGORITHMS}",
+        )
+
+    def _extract_roots(self, entry: GraphEntry, payload: Dict):
+        """Pull root/roots out of a payload, boundary-validated."""
+        if "roots" in payload:
+            roots = payload["roots"]
+            if (
+                not isinstance(roots, list)
+                or not roots
+                or not all(isinstance(r, int) for r in roots)
+            ):
+                raise _RequestProblem(
+                    400, "bad_root",
+                    "\"roots\" must be a non-empty list of integers",
+                )
+            root_entry: object = roots
+        elif "root" in payload:
+            if not isinstance(payload["root"], int):
+                raise _RequestProblem(
+                    400, "bad_root", "\"root\" must be an integer"
+                )
+            root_entry = int(payload["root"])
+        else:
+            raise _RequestProblem(
+                400, "bad_root", "payload needs \"root\" or \"roots\""
+            )
+        roots_list = root_entry if isinstance(root_entry, list) else [root_entry]
+        # Validate here so a bad root 400s instead of poisoning a batch.
+        BFSAlgorithm().validate_roots(entry.graph.num_vertices, roots_list)
+        return root_entry
+
+    def _handle_bfs(
+        self, entry: GraphEntry, payload: Dict, request_id: str
+    ) -> Tuple[Dict, Dict[str, str]]:
+        root_entry = self._extract_roots(entry, payload)
+        controller = self.controller(entry)
+        ticket = controller.submit(request_id, root_entry)
+        result = ticket.result
+        report = ticket.report
+        body = {
+            "graph": entry.name,
+            "algorithm": "bfs",
+            "engine": entry.engine.name,
+            "request_id": request_id,
+            "root": root_entry,
+            "flush": {
+                "id": ticket.flush_id,
+                "size": ticket.flush_size,
+                "mode": "batched",
+            },
+            "result": {
+                "levels": result.levels.tolist(),
+                "parents": result.parents.tolist(),
+                "num_iterations": int(result.num_iterations),
+                "edges_scanned": int(result.edges_scanned),
+            },
+            "report": report.to_dict(),
+            "report_id": ticket.flush_id,
+            "timing": {
+                "queue_wait_seconds": ticket.queue_wait,
+                "sim_execution_seconds": report.execution_time,
+                "sim_compute_seconds": report.compute_time,
+                "sim_iowait_seconds": report.iowait_time,
+            },
+        }
+        headers = {
+            "X-Queue-Wait-Seconds": f"{ticket.queue_wait:.6f}",
+            "X-Sim-Execution-Seconds": f"{report.execution_time:.9f}",
+            "X-Sim-Compute-Seconds": f"{report.compute_time:.9f}",
+            "X-Sim-Iowait-Seconds": f"{report.iowait_time:.9f}",
+            "X-Flush-Id": str(ticket.flush_id),
+            "X-Flush-Size": str(ticket.flush_size),
+        }
+        self._count_request(entry.name, "bfs", 200, ticket.queue_wait)
+        return body, headers
+
+    def _handle_serial(
+        self, entry: GraphEntry, payload: Dict, request_id: str, kind: str
+    ) -> Tuple[Dict, Dict[str, str]]:
+        engine = entry.engine
+        if kind == "sssp":
+            root_entry = self._extract_roots(entry, payload)
+            max_weight = payload.get("max_weight", 8)
+            if not isinstance(max_weight, int) or max_weight < 1:
+                raise _RequestProblem(
+                    400, "bad_request", "\"max_weight\" must be an int >= 1"
+                )
+            algo = WeightedSSSPAlgorithm(hash_weights(max_weight))
+        else:
+            rounds = payload.get("rounds", 5)
+            if not isinstance(rounds, int) or rounds < 1:
+                raise _RequestProblem(
+                    400, "bad_request", "\"rounds\" must be an int >= 1"
+                )
+            damping = payload.get("damping", 0.85)
+            if not isinstance(damping, (int, float)) or not 0.0 < damping < 1.0:
+                raise _RequestProblem(
+                    400, "bad_request", "\"damping\" must be in (0, 1)"
+                )
+            algo = PageRankAlgorithm(
+                entry.graph.out_degrees(), damping=float(damping)
+            )
+            root_entry = 0  # PageRank is root-free; slot 0 satisfies the API
+            # PageRank has no convergence event: cap the rounds on a
+            # per-request engine sharing the staged artifact's config.
+            engine = type(entry.engine)(
+                entry.engine.config.with_(max_iterations=rounds)
+            )
+        with entry.lock:
+            tracer = Tracer()
+            entry.machine.attach_tracer(tracer)
+            batch = run_staged_queries(
+                engine,
+                entry.staged,
+                entry.checkpoint,
+                [root_entry],
+                algorithm=algo,
+                mode="serial",
+            )
+            result = batch.queries[0]
+            registry = CounterRegistry.from_report(result.report)
+            registry.ingest_result(result)
+            registry.ingest_spans(tracer)
+            registry.inc("serve_serial_queries_total", 1.0,
+                         graph=entry.name, algorithm=kind)
+            entry.queries_served += 1
+        self._merge_metrics(registry)
+        report = result.report
+        if kind == "sssp":
+            output = {
+                "distances": result.output["distance"].tolist(),
+                "unreached_value": 0xFFFFFFFF,
+                "num_iterations": int(result.num_iterations),
+            }
+        else:
+            output = {
+                "ranks": result.output["rank"].tolist(),
+                "rounds": int(result.num_iterations),
+            }
+        body = {
+            "graph": entry.name,
+            "algorithm": kind,
+            "engine": engine.name,
+            "request_id": request_id,
+            "root": root_entry if kind == "sssp" else None,
+            "flush": None,
+            "result": output,
+            "report": report.to_dict(),
+            "report_id": request_id,
+            "timing": {
+                "queue_wait_seconds": 0.0,
+                "sim_execution_seconds": report.execution_time,
+                "sim_compute_seconds": report.compute_time,
+                "sim_iowait_seconds": report.iowait_time,
+            },
+        }
+        headers = {
+            "X-Queue-Wait-Seconds": "0.000000",
+            "X-Sim-Execution-Seconds": f"{report.execution_time:.9f}",
+            "X-Sim-Compute-Seconds": f"{report.compute_time:.9f}",
+            "X-Sim-Iowait-Seconds": f"{report.iowait_time:.9f}",
+        }
+        self._count_request(entry.name, kind, 200, None)
+        return body, headers
+
+    # ------------------------------------------------------------------
+    # non-query endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "graphs": sorted(self.registry.names()),
+            "requests_served": self.requests_served,
+        }
+
+    def stats(self, name: str) -> Dict:
+        entry = self.registry.get(name)
+        controller = self.controller(entry)
+        payload = entry.stats()
+        payload["admission"] = controller.counters()
+        return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> GraphService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # HTTP access logging is the deployment's job, not ours
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        request_id = self.service.next_request_id()
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, self.service.healthz(), request_id)
+            elif parts == ["metrics"]:
+                text = to_prometheus(self.service.metrics_snapshot())
+                self._send_text(200, text, request_id)
+            elif parts == ["graphs"]:
+                body = {"graphs": sorted(self.service.registry.names())}
+                self._send_json(200, body, request_id)
+            elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
+                self._send_json(
+                    200, self.service.stats(parts[1]), request_id
+                )
+            elif len(parts) >= 2 and parts[0] == "graphs" and parts[-1] in (
+                QUERY_ALGORITHMS
+            ):
+                raise _RequestProblem(
+                    405, "method_not_allowed",
+                    f"use POST for /{'/'.join(parts)}",
+                )
+            else:
+                raise _RequestProblem(
+                    404, "not_found", f"no route for GET {self.path}"
+                )
+        except Exception as exc:  # noqa: BLE001 - single HTTP error funnel
+            self._send_problem(_problem_for(exc), request_id)
+
+    def do_POST(self) -> None:
+        request_id = self.service.next_request_id()
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            payload = self._read_json()
+            if len(parts) == 3 and parts[0] == "graphs" and parts[2] in (
+                QUERY_ALGORITHMS
+            ):
+                body, headers = self.service.handle_query(
+                    parts[1], parts[2], payload, request_id
+                )
+                self._send_json(200, body, request_id, headers)
+            elif len(parts) == 2 and parts[0] == "graphs":
+                spec = payload.get("spec")
+                if not isinstance(spec, str) or not spec:
+                    raise _RequestProblem(
+                        400, "bad_request",
+                        "registration payload needs a \"spec\" string",
+                    )
+                _, graph = parse_graph_spec(spec)
+                entry = self.service.register(parts[1], graph)
+                self._send_json(201, entry.stats(), request_id)
+            else:
+                raise _RequestProblem(
+                    404, "not_found", f"no route for POST {self.path}"
+                )
+        except Exception as exc:  # noqa: BLE001 - single HTTP error funnel
+            self._send_problem(_problem_for(exc), request_id)
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _RequestProblem(
+                400, "bad_request", f"malformed JSON body: {exc}"
+            )
+        if not isinstance(payload, dict):
+            raise _RequestProblem(
+                400, "bad_request", "JSON body must be an object"
+            )
+        return payload
+
+    def _send_json(
+        self,
+        status: int,
+        body: Dict,
+        request_id: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", request_id)
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, request_id: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_problem(self, problem: _RequestProblem, request_id: str) -> None:
+        graph = None
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) >= 2 and parts[0] == "graphs":
+            graph = parts[1]
+        algorithm = parts[2] if len(parts) == 3 else None
+        if graph is not None and algorithm in QUERY_ALGORITHMS:
+            self.service._count_request(
+                graph, algorithm, problem.status, None
+            )
+        body = {
+            "error": {"type": problem.kind, "message": problem.message},
+            "request_id": request_id,
+        }
+        self._send_json(problem.status, body, request_id, problem.headers)
+
+
+__all__ = ["GraphService", "JSON_CONTENT_TYPE", "QUERY_ALGORITHMS"]

@@ -1,0 +1,256 @@
+"""Artifact registry: named staged graphs pinned behind an LRU cache.
+
+The serving cost model of the ROADMAP's "millions of users" goal: a graph
+is staged **once** when it is registered (the sequential split into
+per-partition edge files — the expensive part), and every query thereafter
+rewinds the pinned machine to the post-staging checkpoint and replays only
+the traversal (see :func:`repro.engines.session.run_staged_queries`).  A
+:class:`GraphEntry` bundles everything one graph needs to serve forever:
+the sealed :class:`~repro.engines.session.StagedGraph`, the warm
+:class:`~repro.storage.machine.Machine`, the quiescent checkpoint and the
+lock that serializes executions on that machine.
+
+Registry capacity is bounded (``max_graphs``); registering beyond it
+evicts the least-recently-used entry, dropping its machine and artifact.
+Boot-time warmup takes a list of graph specs (see :func:`parse_graph_spec`)
+so a server starts with its working set already staged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.session import StagedGraph
+from repro.errors import ConfigError, UnknownGraphError
+from repro.graph.datasets import DATASETS, build_dataset
+from repro.graph.generators import (
+    grid_graph,
+    path_graph,
+    powerlaw_graph,
+    random_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.storage.machine import Machine
+
+#: Engines the registry will stage.  GraphChi's PSW shards do not share
+#: the scatter/gather staging artifact the rewind protocol relies on.
+SERVABLE_ENGINES = ("fastbfs", "fast-bfs", "x-stream", "xstream")
+
+#: Generator spec kinds accepted by :func:`parse_graph_spec`, mapping
+#: ``kind`` to (builder, integer parameter names in builder order).
+_GENERATORS: Dict[str, Tuple[Callable, Tuple[str, ...]]] = {
+    "rmat": (rmat_graph, ("scale", "edge_factor", "seed")),
+    "random": (random_graph, ("num_vertices", "num_edges", "seed")),
+    "powerlaw": (powerlaw_graph, ("num_vertices", "num_edges", "seed")),
+    "grid": (grid_graph, ("width", "height")),
+    "path": (path_graph, ("num_vertices",)),
+    "star": (star_graph, ("num_leaves",)),
+}
+
+
+def parse_graph_spec(spec: str) -> Tuple[str, Graph]:
+    """Resolve one warmup/registration spec to ``(name, graph)``.
+
+    Three forms:
+
+    * a Table II dataset name (``"rmat22"``, ``"twitter_rv"``) — built at
+      the active scale divisor;
+    * a generator spec ``"kind:key=value,key=value"`` with kinds
+      ``rmat`` / ``random`` / ``powerlaw`` / ``grid`` / ``path`` /
+      ``star`` (e.g. ``"rmat:scale=12,edge_factor=8,seed=7"``);
+    * either of the above aliased as ``"name@spec"`` — the registry name
+      to serve the graph under (defaults to the graph's own name).
+    """
+    alias: Optional[str] = None
+    if "@" in spec:
+        alias, spec = spec.split("@", 1)
+        if not alias:
+            raise ConfigError(f"empty alias in graph spec {alias}@{spec}")
+    if ":" not in spec:
+        if spec not in DATASETS:
+            raise ConfigError(
+                f"unknown dataset {spec!r}; options: {sorted(DATASETS)} "
+                "(or a generator spec like 'rmat:scale=12,edge_factor=8')"
+            )
+        graph = build_dataset(spec)
+        return alias or spec, graph
+    kind, _, body = spec.partition(":")
+    if kind not in _GENERATORS:
+        raise ConfigError(
+            f"unknown generator kind {kind!r}; options: "
+            f"{sorted(_GENERATORS)}"
+        )
+    builder, param_names = _GENERATORS[kind]
+    params: Dict[str, int] = {}
+    for item in filter(None, body.split(",")):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ConfigError(
+                f"malformed generator parameter {item!r} in {spec!r} "
+                "(expected key=value)"
+            )
+        if key not in param_names:
+            raise ConfigError(
+                f"unknown parameter {key!r} for generator {kind!r}; "
+                f"options: {param_names}"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise ConfigError(
+                f"generator parameter {key!r} must be an int, got {value!r}"
+            )
+    try:
+        graph = builder(**params)
+    except TypeError:
+        raise ConfigError(
+            f"generator spec {spec!r} is missing required parameters "
+            f"(accepted: {param_names})"
+        )
+    return alias or graph.name, graph
+
+
+class GraphEntry:
+    """One registered graph: sealed artifact, warm machine, serial lock.
+
+    ``lock`` serializes every execution touching ``machine`` — the machine
+    rewinds to ``checkpoint`` around each query batch, so two concurrent
+    executions would corrupt each other's timelines.  The admission
+    controller holds it for the whole of a batched flush.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        engine,
+        machine: Machine,
+        staged: StagedGraph,
+        checkpoint,
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.engine = engine
+        self.machine = machine
+        self.staged = staged
+        self.checkpoint = checkpoint
+        self.lock = threading.RLock()
+        #: Monotonic serving counters, maintained by the admission layer.
+        self.queries_served = 0
+        self.flushes = 0
+
+    def stats(self) -> Dict:
+        """JSON-safe snapshot for the ``/graphs/{name}/stats`` endpoint."""
+        staged = self.staged
+        return {
+            "name": self.name,
+            "graph": {
+                "name": self.graph.name,
+                "num_vertices": int(self.graph.num_vertices),
+                "num_edges": int(self.graph.num_edges),
+            },
+            "engine": self.engine.name,
+            "partitions": int(staged.num_partitions),
+            "in_memory": bool(staged.in_memory),
+            "staging_report": (
+                staged.staging_report.to_dict()
+                if staged.staging_report is not None
+                else None
+            ),
+            "queries_served": int(self.queries_served),
+            "flushes": int(self.flushes),
+        }
+
+
+class ArtifactRegistry:
+    """Bounded name -> :class:`GraphEntry` LRU of staged artifacts."""
+
+    def __init__(
+        self,
+        engine: str = "fastbfs",
+        config=None,
+        machine_factory: Optional[Callable[[], Machine]] = None,
+        max_graphs: int = 4,
+    ) -> None:
+        from repro.api import make_engine
+
+        if engine not in SERVABLE_ENGINES:
+            raise ConfigError(
+                f"engine {engine!r} is not servable; options: "
+                f"{SERVABLE_ENGINES} (staged-artifact rewind only)"
+            )
+        if max_graphs < 1:
+            raise ConfigError(f"max_graphs must be >= 1, got {max_graphs}")
+        self.engine_name = engine
+        self._config = config
+        self._make_engine = lambda: make_engine(engine, config)
+        self._machine_factory = machine_factory or Machine.commodity_server
+        self.max_graphs = max_graphs
+        self._entries: "OrderedDict[str, GraphEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Names evicted over the registry's lifetime (observability).
+        self.evictions: List[str] = []
+
+    def register(self, name: str, graph: Graph) -> GraphEntry:
+        """Stage ``graph`` under ``name``; evict LRU beyond capacity.
+
+        Staging happens outside the registry lock (it is the slow part);
+        if two racers register the same name the later result wins.
+        Re-registering an existing name replaces its entry.
+        """
+        engine = self._make_engine()
+        machine = self._machine_factory()
+        staged = engine.stage(graph, machine)
+        checkpoint = machine.checkpoint()
+        entry = GraphEntry(name, graph, engine, machine, staged, checkpoint)
+        with self._lock:
+            self._entries.pop(name, None)
+            self._entries[name] = entry
+            while len(self._entries) > self.max_graphs:
+                evicted, _ = self._entries.popitem(last=False)
+                self.evictions.append(evicted)
+        return entry
+
+    def get(self, name: str) -> GraphEntry:
+        """Fetch an entry (marking it most-recently-used) or raise."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownGraphError(
+                    f"graph {name!r} is not registered; "
+                    f"registered: {sorted(self._entries)}"
+                )
+            self._entries.move_to_end(name)
+            return entry
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def warmup(self, specs: Sequence[str]) -> List[GraphEntry]:
+        """Register every spec in order (see :func:`parse_graph_spec`)."""
+        entries = []
+        for spec in specs:
+            name, graph = parse_graph_spec(spec)
+            entries.append(self.register(name, graph))
+        return entries
+
+
+__all__ = [
+    "ArtifactRegistry",
+    "GraphEntry",
+    "SERVABLE_ENGINES",
+    "parse_graph_spec",
+]

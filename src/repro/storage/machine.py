@@ -129,6 +129,56 @@ class IOReport:
             devices=devices,
         )
 
+    def to_dict(self) -> Dict:
+        """JSON-safe dict (role tuples become ``"role/kind"`` strings)."""
+        return {
+            "execution_time": self.execution_time,
+            "compute_time": self.compute_time,
+            "iowait_time": self.iowait_time,
+            "compute_breakdown": dict(self.compute_breakdown),
+            "devices": [
+                {
+                    "name": d.name,
+                    "kind": d.kind,
+                    "bytes_read": d.bytes_read,
+                    "bytes_written": d.bytes_written,
+                    "seek_count": d.seek_count,
+                    "busy_time": d.busy_time,
+                    "bytes_by_role": {
+                        f"{role}/{kind}": value
+                        for (role, kind), value in sorted(d.bytes_by_role.items())
+                    },
+                }
+                for d in self.devices
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "IOReport":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        devices = [
+            DeviceReport(
+                name=d["name"],
+                kind=d["kind"],
+                bytes_read=int(d["bytes_read"]),
+                bytes_written=int(d["bytes_written"]),
+                seek_count=int(d["seek_count"]),
+                busy_time=float(d["busy_time"]),
+                bytes_by_role={
+                    tuple(key.split("/", 1)): int(value)
+                    for key, value in d.get("bytes_by_role", {}).items()
+                },
+            )
+            for d in data.get("devices", [])
+        ]
+        return cls(
+            execution_time=float(data["execution_time"]),
+            compute_time=float(data["compute_time"]),
+            iowait_time=float(data["iowait_time"]),
+            compute_breakdown=dict(data.get("compute_breakdown", {})),
+            devices=devices,
+        )
+
     def summary(self) -> str:
         lines = [
             f"time={format_seconds(self.execution_time)} "
@@ -145,6 +195,57 @@ class IOReport:
                 f"busy={format_seconds(d.busy_time)}"
             )
         return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[IOReport]) -> IOReport:
+    """Sum a sequence of per-phase reports into one cumulative report.
+
+    Devices are matched by name (byte counts, seeks, busy time and
+    ``bytes_by_role`` all add); times and compute breakdowns add.  This is
+    the inverse direction of :meth:`IOReport.minus`: summing the staging
+    report with every per-query report of a rewound machine reconstructs
+    exactly what a counter registry fed the same parts saw — the identity
+    the serving metrics endpoint relies on for exact reconciliation.
+    """
+    devices: Dict[str, DeviceReport] = {}
+    order: List[str] = []
+    execution = compute = iowait = 0.0
+    breakdown: Dict[str, float] = {}
+    for report in reports:
+        execution += report.execution_time
+        compute += report.compute_time
+        iowait += report.iowait_time
+        for key, value in report.compute_breakdown.items():
+            breakdown[key] = breakdown.get(key, 0.0) + value
+        for dev in report.devices:
+            acc = devices.get(dev.name)
+            if acc is None:
+                devices[dev.name] = DeviceReport(
+                    name=dev.name,
+                    kind=dev.kind,
+                    bytes_read=dev.bytes_read,
+                    bytes_written=dev.bytes_written,
+                    seek_count=dev.seek_count,
+                    busy_time=dev.busy_time,
+                    bytes_by_role=dict(dev.bytes_by_role),
+                )
+                order.append(dev.name)
+            else:
+                acc.bytes_read += dev.bytes_read
+                acc.bytes_written += dev.bytes_written
+                acc.seek_count += dev.seek_count
+                acc.busy_time += dev.busy_time
+                for key, value in dev.bytes_by_role.items():
+                    acc.bytes_by_role[key] = (
+                        acc.bytes_by_role.get(key, 0) + value
+                    )
+    return IOReport(
+        execution_time=execution,
+        compute_time=compute,
+        iowait_time=iowait,
+        compute_breakdown=breakdown,
+        devices=[devices[name] for name in order],
+    )
 
 
 @dataclass

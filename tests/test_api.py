@@ -8,7 +8,7 @@ from repro.api import ENGINES, make_engine, run_bfs, run_queries
 from repro.core.engine import FastBFSEngine
 from repro.engines.graphchi import GraphChiEngine
 from repro.engines.xstream import XStreamEngine
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EngineError
 from repro.graph.generators import rmat_graph
 from repro.storage.machine import Machine
 
@@ -113,3 +113,19 @@ class TestRunQueries:
             run_queries(
                 graph, [0], machine=Machine.commodity_server(), memory="1GB"
             )
+
+    def test_empty_roots_rejected_at_boundary(self, graph):
+        """Regression: an empty batch must fail before touching the engine."""
+        machine = Machine.commodity_server()
+        with pytest.raises(EngineError, match="at least one root"):
+            run_queries(graph, [], machine=machine)
+        # the typed error fired at the API boundary: the machine is pristine
+        assert machine.clock.now == 0.0
+        assert len(machine.vfs) == 0
+
+    def test_bad_root_rejected_before_staging(self, graph):
+        machine = Machine.commodity_server()
+        with pytest.raises(EngineError, match="out of range"):
+            run_queries(graph, [0, graph.num_vertices], machine=machine)
+        assert machine.clock.now == 0.0
+        assert len(machine.vfs) == 0

@@ -1,0 +1,470 @@
+"""End-to-end tests for the graph query service (repro.serve).
+
+Boots the real HTTP server in-process on an ephemeral port and drives it
+with ``http.client``: golden response schemas for every endpoint
+(including error bodies), shutdown-drains-queue semantics, the
+concurrency-equivalence acceptance criterion (concurrent served BFS is
+bit-identical to serial ``api.run_queries`` and ``/metrics`` reconciles
+exactly with the per-request IOReports), and a deterministic
+admission-control fuzz over the offer/flush primitives.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+
+import pytest
+
+from repro.api import run_queries
+from repro.errors import ConfigError, QueueFullError, UnknownGraphError
+from repro.graph.generators import rmat_graph, star_graph
+from repro.obs.exporters import parse_prometheus
+from repro.serve import (
+    AdmissionController,
+    ArtifactRegistry,
+    GraphService,
+    parse_graph_spec,
+)
+from repro.storage.machine import IOReport, merge_reports
+
+TINY_SPEC = "tiny@rmat:scale=8,edge_factor=8,seed=7"
+
+
+def request(service, method, path, payload=None, raw_body=None, timeout=120,
+            retries=0):
+    """One HTTP request; returns (status, headers dict, decoded body).
+
+    ``retries`` re-attempts transient connection-level failures (reset /
+    refused under connect bursts) — never HTTP error responses.
+    """
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload) if payload is not None else None
+    )
+    for attempt in range(retries + 1):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=timeout
+        )
+        try:
+            conn.request(method, path, body=body)
+            resp = conn.getresponse()
+            data = resp.read()
+            headers = dict(resp.getheaders())
+            break
+        except (ConnectionError, http.client.HTTPException):
+            if attempt == retries:
+                raise
+        finally:
+            conn.close()
+    if headers.get("Content-Type", "").startswith("application/json"):
+        return resp.status, headers, json.loads(data)
+    return resp.status, headers, data.decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = GraphService(port=0, warmup=(TINY_SPEC,)).start()
+    yield svc
+    svc.shutdown()
+
+
+QUERY_KEYS = {
+    "graph", "algorithm", "engine", "request_id", "root",
+    "flush", "result", "report", "report_id", "timing",
+}
+
+
+class TestEndpointSchemas:
+    def test_healthz(self, service):
+        status, headers, body = request(service, "GET", "/healthz")
+        assert status == 200
+        assert set(body) == {"status", "graphs", "requests_served"}
+        assert body["status"] == "ok"
+        assert "tiny" in body["graphs"]
+        assert headers["X-Request-Id"].startswith("req-")
+
+    def test_graphs_listing(self, service):
+        status, _, body = request(service, "GET", "/graphs")
+        assert status == 200
+        assert body == {"graphs": sorted(service.registry.names())}
+
+    def test_stats_schema(self, service):
+        status, _, body = request(service, "GET", "/graphs/tiny/stats")
+        assert status == 200
+        assert set(body) >= {
+            "name", "graph", "engine", "partitions", "in_memory",
+            "staging_report", "queries_served", "flushes", "admission",
+        }
+        assert body["graph"]["num_vertices"] == 256
+        report = IOReport.from_dict(body["staging_report"])
+        assert report.bytes_total > 0
+        assert set(body["admission"]) == {
+            "queue_depth", "capacity", "accepted", "rejected",
+            "flushes", "held", "closed",
+        }
+
+    def test_bfs_response_schema(self, service):
+        status, headers, body = request(
+            service, "POST", "/graphs/tiny/bfs", payload={"root": 3}
+        )
+        assert status == 200
+        assert set(body) == QUERY_KEYS
+        assert body["algorithm"] == "bfs" and body["root"] == 3
+        assert body["flush"]["mode"] == "batched"
+        assert 1 <= body["flush"]["size"] <= 64
+        assert body["report_id"] == body["flush"]["id"]
+        result = body["result"]
+        assert len(result["levels"]) == 256
+        assert len(result["parents"]) == 256
+        assert result["levels"][3] == 0
+        # every response carries request id, queue wait and the
+        # simulated-time breakdown
+        for header in (
+            "X-Request-Id", "X-Queue-Wait-Seconds",
+            "X-Sim-Execution-Seconds", "X-Sim-Compute-Seconds",
+            "X-Sim-Iowait-Seconds", "X-Flush-Id", "X-Flush-Size",
+        ):
+            assert header in headers, header
+        assert float(headers["X-Sim-Execution-Seconds"]) == pytest.approx(
+            body["timing"]["sim_execution_seconds"]
+        )
+
+    def test_bfs_multi_source(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/tiny/bfs", payload={"roots": [1, 2]}
+        )
+        assert status == 200
+        assert body["result"]["levels"][1] == 0
+        assert body["result"]["levels"][2] == 0
+
+    def test_sssp_response_schema(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/tiny/sssp",
+            payload={"root": 3, "max_weight": 4},
+        )
+        assert status == 200
+        assert set(body) == QUERY_KEYS
+        assert body["algorithm"] == "sssp" and body["flush"] is None
+        result = body["result"]
+        assert set(result) == {"distances", "unreached_value", "num_iterations"}
+        assert len(result["distances"]) == 256
+        assert result["distances"][3] == 0
+
+    def test_pagerank_response_schema(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/tiny/pagerank", payload={"rounds": 2}
+        )
+        assert status == 200
+        assert set(body) == QUERY_KEYS
+        assert body["algorithm"] == "pagerank"
+        ranks = body["result"]["ranks"]
+        assert len(ranks) == 256
+        # rank mass stays in (0, 1]: dangling vertices leak some of it
+        assert 0.5 < sum(ranks) <= 1.0 + 1e-6
+
+    def test_register_endpoint(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/extra",
+            payload={"spec": "star:num_leaves=32"},
+        )
+        assert status == 201
+        assert body["name"] == "extra"
+        assert body["graph"]["num_vertices"] == 33
+        status, _, body = request(
+            service, "POST", "/graphs/extra/bfs", payload={"root": 0}
+        )
+        assert status == 200
+        assert body["result"]["levels"][0] == 0
+
+    def test_metrics_endpoint(self, service):
+        status, headers, text = request(service, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        registry = parse_prometheus(text)
+        assert registry.total("device_bytes_total") > 0
+        assert registry.total("serve_requests_total") > 0
+
+
+class TestErrorBodies:
+    def test_unknown_graph(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/nope/bfs", payload={"root": 0}
+        )
+        assert status == 404
+        assert body["error"]["type"] == "unknown_graph"
+        assert "nope" in body["error"]["message"]
+        assert body["request_id"].startswith("req-")
+
+    def test_bad_root(self, service):
+        for payload in ({"root": 9999}, {"root": -1}, {"root": "x"},
+                        {"roots": []}, {}):
+            status, _, body = request(
+                service, "POST", "/graphs/tiny/bfs", payload=payload
+            )
+            assert status == 400, payload
+            assert body["error"]["type"] == "bad_root", payload
+
+    def test_malformed_json(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/tiny/bfs", raw_body=b"{not json"
+        )
+        assert status == 400
+        assert body["error"]["type"] == "bad_request"
+        assert "malformed JSON" in body["error"]["message"]
+
+    def test_unknown_route(self, service):
+        status, _, body = request(service, "GET", "/nope")
+        assert status == 404
+        assert body["error"]["type"] == "not_found"
+
+    def test_get_on_query_endpoint(self, service):
+        status, _, body = request(service, "GET", "/graphs/tiny/bfs")
+        assert status == 405
+        assert body["error"]["type"] == "method_not_allowed"
+
+    def test_bad_pagerank_params(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/tiny/pagerank", payload={"rounds": 0}
+        )
+        assert status == 400
+        assert body["error"]["type"] == "bad_request"
+
+    def test_bad_register_spec(self, service):
+        status, _, body = request(
+            service, "POST", "/graphs/bad", payload={"spec": "nope:z=1"}
+        )
+        assert status == 400
+        assert body["error"]["type"] == "bad_request"
+
+
+class TestShutdownDrain:
+    def test_shutdown_fulfills_queued_tickets(self):
+        svc = GraphService(port=0, warmup=(TINY_SPEC,)).start()
+        entry = svc.registry.get("tiny")
+        controller = svc.controller(entry)
+        controller.hold()  # tickets accumulate, nobody can flush
+        n = 5
+        results = [None] * n
+
+        def fire(i):
+            results[i] = request(
+                svc, "POST", "/graphs/tiny/bfs", payload={"root": i},
+                retries=2,
+            )
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        deadline = 200
+        while controller.depth < n and deadline:
+            threading.Event().wait(0.05)
+            deadline -= 1
+        assert controller.depth == n
+        svc.shutdown()  # drain=True: every queued ticket must be answered
+        for t in threads:
+            t.join(timeout=30)
+        for i, (status, _, body) in enumerate(results):
+            assert status == 200
+            assert body["result"]["levels"][i] == 0
+        # the whole backlog went out as one coalesced flush
+        flush_ids = {body["flush"]["id"] for _, _, body in results}
+        assert len(flush_ids) == 1
+        with pytest.raises(OSError):
+            request(svc, "GET", "/healthz", timeout=2)
+
+
+class TestConcurrencyEquivalence:
+    def test_concurrent_bfs_matches_serial_and_metrics_reconcile(self):
+        spec = "g@rmat:scale=9,edge_factor=8,seed=17"
+        svc = GraphService(port=0, warmup=(spec,)).start()
+        try:
+            roots = [(7 * i) % 500 for i in range(16)]
+            results = [None] * len(roots)
+
+            def fire(i):
+                results[i] = request(
+                    svc, "POST", "/graphs/g/bfs",
+                    payload={"root": roots[i]}, retries=2,
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(len(roots))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            assert all(r is not None and r[0] == 200 for r in results)
+
+            # (1) bit-identical to the serial batch front door
+            graph = rmat_graph(scale=9, edge_factor=8, seed=17)
+            serial = run_queries(graph, roots)
+            for i, (_, _, body) in enumerate(results):
+                assert serial.queries[i].levels.tolist() == (
+                    body["result"]["levels"]
+                )
+                assert serial.queries[i].parents.tolist() == (
+                    body["result"]["parents"]
+                )
+
+            # (2) flushes coalesce and never exceed the batch width
+            sizes_by_flush = {}
+            for _, _, body in results:
+                sizes_by_flush[body["flush"]["id"]] = body["flush"]["size"]
+            assert all(1 <= s <= 64 for s in sizes_by_flush.values())
+            assert sum(sizes_by_flush.values()) == len(roots)
+
+            # (3) /metrics reconciles exactly with the per-request
+            # IOReports: queries of one flush share that flush's delta
+            # report (dedup by report_id), plus the staging report.
+            _, _, metrics_text = request(svc, "GET", "/metrics")
+            registry = parse_prometheus(metrics_text)
+            _, _, stats = request(svc, "GET", "/graphs/g/stats")
+            unique = {}
+            for _, _, body in results:
+                unique[body["report_id"]] = body["report"]
+            merged = merge_reports(
+                [IOReport.from_dict(stats["staging_report"])]
+                + [IOReport.from_dict(d) for d in unique.values()]
+            )
+            assert registry.reconcile(merged) == []
+        finally:
+            svc.shutdown()
+
+
+class TestAdmissionFuzz:
+    def test_seeded_bursts_deterministic(self):
+        registry = ArtifactRegistry(max_graphs=2)
+        entry = registry.register("star", star_graph(63))
+        capacity, width = 8, 4
+        controller = AdmissionController(
+            entry, capacity=capacity, batch_width=width
+        )
+        rng = random.Random(1234)
+        model_queue = []  # mirrors the controller's FIFO: request ids
+        tickets = {}
+        flushed = []  # (flush_id, [request ids]) in flush order
+        next_id = 0
+        for step in range(80):
+            if rng.random() < 0.7:
+                rid = f"t-{next_id:04d}"
+                next_id += 1
+                root = rng.randrange(64)
+                if len(model_queue) < capacity:
+                    ticket = controller.offer(rid, root)
+                    tickets[rid] = (ticket, root)
+                    model_queue.append(rid)
+                else:
+                    # deterministic rejection with a deterministic hint
+                    with pytest.raises(QueueFullError) as exc:
+                        controller.offer(rid, root)
+                    expected = max(1, -(-len(model_queue) // width))
+                    assert exc.value.retry_after == float(expected)
+            else:
+                record = controller.flush()
+                if not model_queue:
+                    assert record is None
+                else:
+                    expected = model_queue[: width]
+                    del model_queue[: len(expected)]
+                    assert record is not None
+                    assert record.size == len(expected) <= 64
+                    got = [t.request_id for t in record.tickets]
+                    assert got == expected  # strict FIFO, no dup/loss
+                    flushed.append((record.flush_id, got))
+        drained = controller.drain_pending()
+        assert drained == len(model_queue)
+
+        # no lost or duplicated responses: every accepted ticket was
+        # fulfilled exactly once with its own root's traversal
+        for rid, (ticket, root) in tickets.items():
+            assert ticket.done.is_set(), rid
+            assert ticket.error is None
+            assert ticket.result.levels[root] == 0
+        counters = controller.counters()
+        assert counters["accepted"] == len(tickets)
+        assert counters["queue_depth"] == 0
+        assert all(size <= 64 for _, ids in flushed for size in [len(ids)])
+
+    def test_same_seed_same_decisions(self):
+        """The accept/reject trace is a pure function of the op sequence."""
+        def run_trace():
+            registry = ArtifactRegistry(max_graphs=1)
+            entry = registry.register("star", star_graph(31))
+            controller = AdmissionController(
+                entry, capacity=5, batch_width=3
+            )
+            rng = random.Random(99)
+            trace = []
+            for i in range(50):
+                if rng.random() < 0.75:
+                    try:
+                        controller.offer(f"r{i}", rng.randrange(32))
+                        trace.append("accept")
+                    except QueueFullError as exc:
+                        trace.append(f"reject:{exc.retry_after:g}")
+                else:
+                    record = controller.flush()
+                    trace.append(f"flush:{0 if record is None else record.size}")
+            controller.drain_pending()
+            return trace
+
+        assert run_trace() == run_trace()
+
+
+class TestRegistry:
+    def test_parse_specs(self):
+        name, graph = parse_graph_spec("rmat:scale=8,edge_factor=8,seed=7")
+        assert graph.num_vertices == 256
+        alias, _ = parse_graph_spec("mine@star:num_leaves=10")
+        assert alias == "mine"
+        with pytest.raises(ConfigError):
+            parse_graph_spec("nope_dataset")
+        with pytest.raises(ConfigError):
+            parse_graph_spec("rmat:bad=1")
+        with pytest.raises(ConfigError):
+            parse_graph_spec("rmat:scale")
+
+    def test_lru_eviction(self):
+        registry = ArtifactRegistry(max_graphs=2)
+        registry.register("a", star_graph(8))
+        registry.register("b", star_graph(9))
+        registry.get("a")  # a is now most recently used
+        registry.register("c", star_graph(10))
+        assert registry.names() == ["a", "c"]
+        assert registry.evictions == ["b"]
+        with pytest.raises(UnknownGraphError):
+            registry.get("b")
+
+    def test_graphchi_not_servable(self):
+        with pytest.raises(ConfigError):
+            ArtifactRegistry(engine="graphchi")
+
+
+class TestReportMergeRoundTrip:
+    def test_to_from_dict_exact(self):
+        registry = ArtifactRegistry(max_graphs=1)
+        entry = registry.register("g", star_graph(16))
+        report = entry.staged.staging_report
+        clone = IOReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.bytes_total == report.bytes_total
+        assert clone.devices[0].bytes_by_role == (
+            report.devices[0].bytes_by_role
+        )
+
+    def test_merge_reports_is_sum(self):
+        registry = ArtifactRegistry(max_graphs=1)
+        entry = registry.register("g", star_graph(16))
+        report = entry.staged.staging_report
+        double = merge_reports([report, report])
+        assert double.bytes_total == 2 * report.bytes_total
+        assert double.execution_time == pytest.approx(
+            2 * report.execution_time
+        )
+        assert double.devices[0].seek_count == 2 * report.devices[0].seek_count
