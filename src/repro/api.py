@@ -65,10 +65,20 @@ def _resolve_machine(
     return machine
 
 
-def _prepare_tracing(machine: Machine, trace_path: Optional[str]) -> None:
-    """Attach a fresh tracer when a trace export was requested."""
-    if trace_path is not None and not machine.tracer.enabled:
+def _prepare_tracing(
+    machine: Machine,
+    trace_path: Optional[str],
+    host_profile: bool = False,
+) -> None:
+    """Attach a fresh tracer when a trace export or host profile was
+    requested; ``host_profile`` additionally binds the shared
+    :class:`~repro.obs.hostprof.HostClock` so spans carry host stamps."""
+    if (trace_path is not None or host_profile) and not machine.tracer.enabled:
         machine.attach_tracer(Tracer())
+    if host_profile and machine.tracer.enabled:
+        from repro.obs.hostprof import HOST_CLOCK
+
+        machine.tracer.bind_host_clock(HOST_CLOCK)
 
 
 def export_observability(
@@ -127,6 +137,7 @@ def run_bfs(
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    host_profile: bool = False,
     **machine_kwargs: object,
 ) -> EngineResult:
     """Run BFS on ``graph`` with the named engine and return its result.
@@ -149,9 +160,15 @@ def run_bfs(
     Prometheus-style counter snapshot.  Either also attaches the sampled
     :class:`~repro.obs.CounterRegistry` as ``result.metrics``.  Tracing
     never changes simulated timings or byte totals.
+
+    ``host_profile=True`` binds the host wall clock to the tracer
+    (attaching one if needed) so every span carries host-side stamps;
+    ``profile_trace(...).host()`` then yields the per-stage
+    ``host_seconds_per_sim_second`` breakdown.  Host stamping is strictly
+    neutral for simulated results (see :mod:`repro.obs.hostprof`).
     """
     machine = _resolve_machine(machine, machine_kwargs, fault_plan)
-    _prepare_tracing(machine, trace_path)
+    _prepare_tracing(machine, trace_path, host_profile)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
     result = eng.run(graph, machine, root=root, roots=roots)
     export_observability(machine, result, trace_path, metrics_path)
@@ -167,6 +184,7 @@ def run_queries(
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     mode: str = "serial",
+    host_profile: bool = False,
     **machine_kwargs: object,
 ) -> BatchResult:
     """Run one BFS per ``roots`` entry, staging the graph exactly once.
@@ -198,7 +216,7 @@ def run_queries(
             "run_queries needs at least one root entry (got an empty list)"
         )
     machine = _resolve_machine(machine, machine_kwargs)
-    _prepare_tracing(machine, trace_path)
+    _prepare_tracing(machine, trace_path, host_profile)
     eng = make_engine(engine, config) if isinstance(engine, str) else engine
     batch = eng.run_many(graph, machine, roots=roots, mode=mode)
     export_observability(machine, batch, trace_path, metrics_path)

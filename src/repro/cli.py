@@ -11,8 +11,12 @@ Subcommands:
 * ``compare`` — run all three engines on one input and print the
   paper-style comparison (time / input data / iowait / speedups);
 * ``profile`` — analyze a span-trace JSONL file (stage breakdowns, stay
-  overlap) or, with ``--graph``/``--dataset``, print the per-level
-  convergence profile (Fig. 1 data);
+  overlap; ``--host`` adds the dual-clock host-cost table for traces
+  recorded with ``--host-profile``) or, with ``--graph``/``--dataset``,
+  print the per-level convergence profile (Fig. 1 data);
+* ``top`` — poll a running graph service's ``/debug/timeseries`` ring
+  and render a live per-graph RPS / queue-depth / latency-quantile
+  view (``--once`` for a single CI-friendly sample);
 * ``bench`` — collect a ``BENCH_<seq>.json`` benchmark snapshot
   (``bench run``) or diff the two newest under the tolerance policy
   (``bench compare``, nonzero exit on regression);
@@ -129,6 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--width", type=int, default=100,
                       help="trace report width (columns)")
+    prof.add_argument("--host", action="store_true",
+                      help="append the dual-clock host-cost section "
+                           "(needs a trace recorded with --host-profile)")
     _add_input_args(prof, required=False)
     prof.add_argument("--root", type=int, default=None)
 
@@ -227,6 +234,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-graphs", type=int, default=4,
                          help="artifact registry LRU size")
 
+    top = sub.add_parser(
+        "top",
+        help="live per-graph view of a running service (/debug/timeseries)",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="service base URL (default http://127.0.0.1:8080)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="poll interval in seconds (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single sample and exit (CI mode)")
+
     rep = sub.add_parser(
         "reproduce",
         help="run the paper's experiments and write a markdown report",
@@ -278,14 +296,24 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write the span trace as JSONL (repro.obs)")
     p.add_argument("--metrics", metavar="PATH", default=None,
                    help="write a Prometheus-style counter snapshot")
+    p.add_argument("--host-profile", action="store_true",
+                   help="bind the host wall clock to the tracer so spans "
+                        "carry host stamps ('profile --host' reads them; "
+                        "simulated results are unaffected)")
 
 
 def _obs_attach(machine: Machine, args: argparse.Namespace) -> None:
-    """Install a tracer before the run when ``--trace`` was given."""
-    if getattr(args, "trace", None) is not None:
+    """Install a tracer before the run when ``--trace``/``--host-profile``
+    was given; ``--host-profile`` additionally binds the host clock."""
+    host_profile = getattr(args, "host_profile", False)
+    if getattr(args, "trace", None) is not None or host_profile:
         from repro.obs import Tracer
 
         machine.attach_tracer(Tracer())
+    if host_profile:
+        from repro.obs import HOST_CLOCK
+
+        machine.tracer.bind_host_clock(HOST_CLOCK)
 
 
 def _obs_export(machine: Machine, result, args: argparse.Namespace) -> None:
@@ -516,7 +544,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         from repro.api import profile_trace
 
         prof = profile_trace(args.trace)
-        print(prof.report_text(width=args.width))
+        print(prof.report_text(width=args.width, host=args.host))
         return 0
     if args.graph is None and args.dataset is None:
         print(
@@ -742,6 +770,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time  # wall clock for the poll cadence only — never simulated
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    url = base + "/debug/timeseries?windows=1"
+    while True:
+        try:
+            with urlopen(url, timeout=10) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as exc:
+            print(f"top: cannot read {url}: {exc}", file=sys.stderr)
+            return 1
+        windows = doc.get("windows", [])
+        graphs = windows[-1]["graphs"] if windows else {}
+        rows: List[List[object]] = []
+        for name in sorted(graphs):
+            g = graphs[name]
+            wait, svc = g["queue_wait"], g["service_time"]
+            rows.append([
+                name,
+                f"{g['rps']:.1f}",
+                g["requests"],
+                g["errors"],
+                f"{g['queue_depth_last']}/{g['queue_depth_max']}",
+                f"{wait['p50'] * 1e3:.2f}",
+                f"{wait['p95'] * 1e3:.2f}",
+                f"{wait['p99'] * 1e3:.2f}",
+                format_seconds(svc["p50"]),
+                format_seconds(svc["p99"]),
+            ])
+        title = (f"{base}  window {doc['window_seconds']:g}s  "
+                 f"({len(doc.get('windows', []))} of {doc['capacity']} kept)")
+        if rows:
+            print(format_table(
+                ["graph", "rps", "req", "err", "depth",
+                 "wait p50 ms", "p95 ms", "p99 ms",
+                 "sim p50", "sim p99"],
+                rows,
+                title=title,
+            ))
+        else:
+            print(f"{title}\n  (no requests in the current window)")
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -758,6 +836,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": cmd_gantt,
         "shapes": cmd_shapes,
         "serve": cmd_serve,
+        "top": cmd_top,
         "reproduce": cmd_reproduce,
     }
     try:

@@ -162,6 +162,7 @@ def run_staged_queries(
     algorithm: Optional[StreamingAlgorithm] = None,
     mode: str = "serial",
     restore_first: bool = True,
+    span_attrs: Optional[dict] = None,
 ):
     """Run one query per ``roots`` entry against an existing artifact.
 
@@ -185,6 +186,15 @@ def run_staged_queries(
     kernel.  Returns a :class:`~repro.engines.result.BatchResult` whose
     ``staging_report`` is the artifact's (staging was paid when the
     artifact was built, not here).
+
+    ``span_attrs`` attaches extra attributes to every ``query`` span this
+    call opens (purely observational — attrs never touch the clock).  The
+    serving layer uses it for end-to-end request tracing: it passes
+    ``{"flush_id": ..., "request_ids": [...]}`` with one request id per
+    root entry, and the ``request_ids`` list is sliced to match each
+    batch chunk (serial mode: each query span carries its own single-id
+    slice); batched query slots additionally carry their own
+    ``request_id`` on the ``query_slot`` marker.
     """
     from repro.algorithms.streaming import BATCH_WIDTH
     from repro.engines.base import _is_root_sequence
@@ -213,6 +223,16 @@ def run_staged_queries(
     queries: List[EngineResult] = []
     shared_iterations: List[IterationStats] = []
     batch_times: List[float] = []
+
+    def _sliced_attrs(start: int, count: int) -> Optional[dict]:
+        if span_attrs is None:
+            return None
+        out = dict(span_attrs)
+        ids = out.get("request_ids")
+        if isinstance(ids, (list, tuple)):
+            out["request_ids"] = list(ids[start:start + count])
+        return out
+
     if batched:
         for num_batches, start in enumerate(
             range(0, len(validated), BATCH_WIDTH)
@@ -226,6 +246,7 @@ def run_staged_queries(
                 algo.batched(len(chunk)),
                 serial_algorithm=algo,
                 batch_index=num_batches,
+                span_attrs=_sliced_attrs(start, len(chunk)),
             )
             results = session.run(chunk)
             shared_iterations.extend(session.shared_iterations)
@@ -236,7 +257,10 @@ def run_staged_queries(
         for q, entry in enumerate(roots):
             if q or restore_first:
                 machine.restore(checkpoint)
-            session = QuerySession(engine, staged, algorithm=algo)
+            session = QuerySession(
+                engine, staged, algorithm=algo,
+                span_attrs=_sliced_attrs(q, 1),
+            )
             if _is_root_sequence(entry):
                 result = session.run(roots=entry, validated_roots=validated[q])
             else:
@@ -289,6 +313,7 @@ class QuerySession:
         algorithm: Optional[StreamingAlgorithm] = None,
         protect_staged: bool = True,
         cumulative_report: bool = False,
+        span_attrs: Optional[dict] = None,
     ) -> None:
         self.engine = engine
         self.staged = staged
@@ -302,6 +327,7 @@ class QuerySession:
             )
         self.protect_staged = protect_staged
         self.cumulative_report = cumulative_report
+        self.span_attrs = dict(span_attrs) if span_attrs else {}
         self._used = False
         # Crash/resume state: the quiescent entry checkpoint (taken only on
         # fault-injected machines) and the (root, roots) of a crashed run.
@@ -370,6 +396,7 @@ class QuerySession:
                 algorithm=algo.name,
                 graph=staged.graph.name,
                 roots=[int(r) for r in (roots if roots is not None else [root])],
+                **self.span_attrs,
             ) as q_span:
                 _drive_passes(engine, rt)
                 self._cleanup(rt)
@@ -436,6 +463,7 @@ class QuerySession:
             algorithm=self.algorithm,
             protect_staged=self.protect_staged,
             cumulative_report=self.cumulative_report,
+            span_attrs=self.span_attrs,
         )
         try:
             result = session.run(
@@ -493,6 +521,7 @@ class BatchedQuerySession:
         batch_index: int = 0,
         protect_staged: bool = True,
         cumulative_report: bool = False,
+        span_attrs: Optional[dict] = None,
     ) -> None:
         self.engine = engine
         self.staged = staged
@@ -513,6 +542,7 @@ class BatchedQuerySession:
         self.batch_index = batch_index
         self.protect_staged = protect_staged
         self.cumulative_report = cumulative_report
+        self.span_attrs = dict(span_attrs) if span_attrs else {}
         #: Per-pass counters of the shared timeline (set by :meth:`run`).
         self.shared_iterations: List[IterationStats] = []
         #: Delta report of the shared timeline (set by :meth:`run`).
@@ -563,6 +593,7 @@ class BatchedQuerySession:
                 roots=[int(r) for slot in slots for r in slot],
                 batch=self.batch_index,
                 batch_size=algo.num_queries,
+                **self.span_attrs,
             ) as q_span:
                 _drive_passes(engine, rt)
                 self._cleanup(rt)
@@ -571,7 +602,14 @@ class BatchedQuerySession:
                 # span; purely observational (never touches the clock).
                 parent = machine.tracer.current_id
                 now = machine.clock.now
+                slot_ids = self.span_attrs.get("request_ids")
                 for q, slot in enumerate(slots):
+                    slot_attrs = {}
+                    if (
+                        isinstance(slot_ids, (list, tuple))
+                        and q < len(slot_ids)
+                    ):
+                        slot_attrs["request_id"] = slot_ids[q]
                     machine.tracer.emit(
                         "query_slot",
                         start=now,
@@ -583,6 +621,7 @@ class BatchedQuerySession:
                         iterations=algo.query_iterations(
                             q, len(rt.iterations)
                         ),
+                        **slot_attrs,
                     )
             if sanitizer is not None:
                 sanitizer.finalize_session()
@@ -671,6 +710,7 @@ class BatchedQuerySession:
             batch_index=self.batch_index,
             protect_staged=self.protect_staged,
             cumulative_report=self.cumulative_report,
+            span_attrs=self.span_attrs,
         )
         try:
             results = session.run(validated_roots)

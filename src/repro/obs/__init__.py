@@ -12,7 +12,12 @@ The subsystem has three parts, deliberately decoupled:
   text snapshots, both round-trippable;
 * :mod:`repro.obs.profile` — trace analysis (per-iteration stage
   breakdowns, stay-write overlap, per-device I/O attribution);
-* :mod:`repro.obs.bench` — benchmark snapshots and the regression gate.
+* :mod:`repro.obs.bench` — benchmark snapshots and the regression gate;
+* :mod:`repro.obs.hostprof` — the dual-clock host profiler: the one
+  sanctioned wall-clock choke point (:class:`HostClock`), bindable to a
+  tracer for per-stage ``host_seconds_per_sim_second`` attribution;
+* :mod:`repro.obs.timeseries` — bounded ring of windowed serving metrics
+  (RPS, queue depth, latency quantiles) behind ``/debug/timeseries``.
 
 See docs/observability.md for the span taxonomy and counter catalogue,
 and docs/profiling.md for the profile report and snapshot schema.
@@ -27,6 +32,7 @@ from repro.obs.counters import (
 )
 from repro.obs.exporters import (
     SPAN_SCHEMA,
+    SUMMARY_QUANTILES,
     ExportError,
     parse_prometheus,
     parse_spans_jsonl,
@@ -36,6 +42,7 @@ from repro.obs.exporters import (
     write_prometheus,
     write_spans_jsonl,
 )
+from repro.obs.hostprof import HOST_CLOCK, HostClock, ManualHostClock
 from repro.obs.profile import (
     ProfileError,
     QueryProfile,
@@ -43,6 +50,7 @@ from repro.obs.profile import (
     load_spans,
     profile_trace,
 )
+from repro.obs.timeseries import TimeSeries, quantile_summary
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceError, Tracer
 
 __all__ = [
@@ -70,4 +78,10 @@ __all__ = [
     "TraceProfile",
     "load_spans",
     "profile_trace",
+    "HOST_CLOCK",
+    "HostClock",
+    "ManualHostClock",
+    "SUMMARY_QUANTILES",
+    "TimeSeries",
+    "quantile_summary",
 ]

@@ -102,6 +102,31 @@ class Histogram:
         self.sum += other.sum
         self.count += other.count
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from bucket counts.
+
+        Prometheus-style: find the bucket holding rank ``q * count`` and
+        interpolate linearly inside it (observations assumed uniform
+        within a bucket).  Observations that landed in the implicit +Inf
+        overflow bucket clamp to the highest finite bound — same
+        convention as ``histogram_quantile``.  An empty histogram
+        returns 0.0 so snapshot payloads stay valid JSON.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count <= 0.0:
+            return 0.0
+        rank = q * self.count
+        running = 0.0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if n > 0.0 and running + n >= rank:
+                fraction = max(0.0, rank - running) / n
+                return lower + (bound - lower) * fraction
+            running += n
+            lower = bound
+        return self.buckets[-1]
+
     def cumulative(self) -> List[Tuple[float, float]]:
         """(upper bound, cumulative count) pairs, ending with (+Inf, count)."""
         out: List[Tuple[float, float]] = []

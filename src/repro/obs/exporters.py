@@ -30,6 +30,11 @@ SPAN_SCHEMA = ("span_id", "parent_id", "name", "start", "end", "attrs")
 #: (what a scraper expects on a ``/metrics`` endpoint).
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
 
+#: Quantiles summarized alongside every histogram family, both in the
+#: exposition text (``name{...,quantile="0.95"}`` lines) and in the
+#: serving layer's stats/timeseries payloads.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
 
 class ExportError(ReproError):
     """Raised on malformed trace/metrics payloads."""
@@ -77,6 +82,10 @@ def parse_spans_jsonl(text: str) -> List[Span]:
                 start=float(obj["start"]),
                 end=float(obj["end"]),
                 attrs=dict(obj["attrs"]),
+                # Host stamps are optional: only dual-clock (hostprof)
+                # traces carry them, and they round-trip when present.
+                host_start=float(obj.get("host_start", -1.0)),
+                host_end=float(obj.get("host_end", -1.0)),
             )
         )
     return out
@@ -131,7 +140,11 @@ def to_prometheus(registry: CounterRegistry) -> str:
     Scalar series come first (``counter`` iff the name ends in ``_total``,
     else ``gauge``), then histogram families: cumulative
     ``<name>_bucket{le="..."}`` lines plus ``<name>_sum``/``<name>_count``
-    under a ``# TYPE <name> histogram`` header.
+    under a ``# TYPE <name> histogram`` header, followed by derived
+    ``<name>{...,quantile="..."}`` summary lines (p50/p95/p99, see
+    :data:`SUMMARY_QUANTILES`).  The quantile lines are informational —
+    :func:`parse_prometheus` skips them because the bucket lines already
+    carry the full distribution — so the round-trip stays exact.
     """
     lines: List[str] = []
     last_name = None
@@ -152,6 +165,10 @@ def to_prometheus(registry: CounterRegistry) -> str:
             lines.append(_series_line(f"{name}_bucket", le_labels, cum))
         lines.append(_series_line(f"{name}_sum", labels, hist.sum))
         lines.append(_series_line(f"{name}_count", labels, hist.count))
+        for q in SUMMARY_QUANTILES:
+            q_labels = dict(labels)
+            q_labels["quantile"] = _format_value(q)
+            lines.append(_series_line(name, q_labels, hist.quantile(q)))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -196,6 +213,11 @@ def parse_prometheus(text: str) -> CounterRegistry:
         except (ValueError, ExportError) as exc:
             raise ExportError(f"metrics line {lineno} malformed: {exc}") from None
         name = name.strip()
+        if name in hist_names and "quantile" in labels:
+            # Derived p50/p95/p99 summary line for a histogram family;
+            # the bucket lines carry the full distribution, so folding
+            # these in would double-count.
+            continue
         base, part = _histogram_part(name, hist_names)
         if base is None:
             reg.inc(name, value, **labels)
@@ -281,6 +303,7 @@ def _parse_labels(body: str, lineno: int) -> dict:
 __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "SPAN_SCHEMA",
+    "SUMMARY_QUANTILES",
     "ExportError",
     "spans_to_jsonl",
     "write_spans_jsonl",

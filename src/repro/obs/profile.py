@@ -113,6 +113,8 @@ class IterationBreakdown:
     span: Span
     #: Stage name -> summed child-span seconds (only stages that ran).
     stages: Dict[str, float] = field(default_factory=dict)
+    #: Stage name -> summed child-span *host* seconds (dual-clock traces).
+    host_stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -122,6 +124,15 @@ class IterationBreakdown:
     def other(self) -> float:
         """Iteration time not inside any named stage child."""
         return max(0.0, self.duration - sum(self.stages.values()))
+
+    @property
+    def host_duration(self) -> float:
+        return self.span.host_duration
+
+    @property
+    def host_other(self) -> float:
+        """Host iteration time not inside any named stage child."""
+        return max(0.0, self.host_duration - sum(self.host_stages.values()))
 
     @property
     def frontier(self) -> int:
@@ -135,6 +146,12 @@ class IterationBreakdown:
         """Stage seconds including the ``other`` residual; sums to duration."""
         out = dict(self.stages)
         out["other"] = self.other
+        return out
+
+    def host_breakdown(self) -> Dict[str, float]:
+        """Host stage seconds + ``other``; sums to :attr:`host_duration`."""
+        out = dict(self.host_stages)
+        out["other"] = self.host_other
         return out
 
 
@@ -202,6 +219,27 @@ class QueryProfile:
             0.0, self.duration - sum(it.duration for it in self.iterations)
         )
 
+    @property
+    def host_timed(self) -> bool:
+        """True when this query was traced with a host clock attached."""
+        return self.span.host_timed
+
+    @property
+    def host_duration(self) -> float:
+        return self.span.host_duration
+
+    @property
+    def host_overhead(self) -> float:
+        """Host query time outside every iteration span."""
+        return max(
+            0.0,
+            self.host_duration - sum(it.host_duration for it in self.iterations),
+        )
+
+    @property
+    def edges_scanned(self) -> int:
+        return sum(it.edges_scanned for it in self.iterations)
+
     def stage_totals(self) -> Dict[str, float]:
         """Stage seconds over the whole query; sums to the query duration.
 
@@ -214,6 +252,24 @@ class QueryProfile:
             for name, secs in it.breakdown().items():
                 totals[name] = totals.get(name, 0.0) + secs
         totals["overhead"] = self.overhead
+        return totals
+
+    def host_stage_totals(self) -> Dict[str, float]:
+        """Host stage seconds over the query; sums to its host duration.
+
+        Same keys and arithmetic as :meth:`stage_totals`, on the host
+        clock: ``other`` is host time inside an iteration but outside
+        named stages, ``overhead`` host time inside the query but outside
+        every iteration — so the totals sum to the query span's host
+        duration by construction.  Empty on single-clock traces.
+        """
+        if not self.host_timed:
+            return {}
+        totals: Dict[str, float] = {}
+        for it in self.iterations:
+            for name, secs in it.host_breakdown().items():
+                totals[name] = totals.get(name, 0.0) + secs
+        totals["overhead"] = self.host_overhead
         return totals
 
     def critical_path(self) -> List[Tuple[str, float]]:
@@ -268,16 +324,23 @@ def _build_query_profile(
     for sp in direct:
         if sp.name == "iteration" and sp.finished:
             stages: Dict[str, float] = {}
+            host_stages: Dict[str, float] = {}
             for child in children.get(sp.span_id, []):
                 if child.name in STAGE_NAMES and child.finished:
                     stages[child.name] = (
                         stages.get(child.name, 0.0) + child.duration
                     )
+                    if child.host_timed:
+                        host_stages[child.name] = (
+                            host_stages.get(child.name, 0.0)
+                            + child.host_duration
+                        )
             iterations.append(
                 IterationBreakdown(
                     iteration=int(sp.attrs.get("iteration", len(iterations))),
                     span=sp,
                     stages=stages,
+                    host_stages=host_stages,
                 )
             )
         elif sp.name == "stay_flush" and sp.finished:
@@ -337,6 +400,66 @@ class TraceProfile:
         ]
 
     # ------------------------------------------------------------------
+    # dual-clock host breakdown
+    # ------------------------------------------------------------------
+    @property
+    def host_timed(self) -> bool:
+        """True when at least one query was traced with a host clock."""
+        return any(q.host_timed for q in self.queries)
+
+    def host(self) -> Dict[str, object]:
+        """Host wall-clock breakdown of the trace (dual-clock runs).
+
+        The instrument the vectorization ratchet reads: how many host
+        seconds each simulated second costs, attributed per stage, plus
+        the engine's raw edge throughput on the host clock.  Shape::
+
+            {"host_seconds": ..., "sim_seconds": ...,
+             "host_seconds_per_sim_second": ...,
+             "edges_scanned": ..., "edges_scanned_per_host_second": ...,
+             "stages": {name: {"host_seconds", "sim_seconds",
+                               "host_seconds_per_sim_second"}, ...}}
+
+        Stage host seconds sum exactly to ``host_seconds`` (the summed
+        host duration of the query spans) because each query's
+        :meth:`~QueryProfile.host_stage_totals` sums to its span's host
+        duration by construction.  Empty dict on single-clock traces.
+        """
+        timed = [q for q in self.queries if q.host_timed]
+        if not timed:
+            return {}
+        host_seconds = sum(q.host_duration for q in timed)
+        sim_seconds = sum(q.duration for q in timed)
+        edges = sum(q.edges_scanned for q in timed)
+        stages: Dict[str, Dict[str, float]] = {}
+        for q in timed:
+            sim_totals = q.stage_totals()
+            for name, secs in q.host_stage_totals().items():
+                entry = stages.setdefault(
+                    name, {"host_seconds": 0.0, "sim_seconds": 0.0}
+                )
+                entry["host_seconds"] += secs
+                entry["sim_seconds"] += sim_totals.get(name, 0.0)
+        for entry in stages.values():
+            entry["host_seconds_per_sim_second"] = (
+                entry["host_seconds"] / entry["sim_seconds"]
+                if entry["sim_seconds"] > 0
+                else 0.0
+            )
+        return {
+            "host_seconds": host_seconds,
+            "sim_seconds": sim_seconds,
+            "host_seconds_per_sim_second": (
+                host_seconds / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+            "edges_scanned": edges,
+            "edges_scanned_per_host_second": (
+                edges / host_seconds if host_seconds > 0 else 0.0
+            ),
+            "stages": {name: stages[name] for name in sorted(stages)},
+        }
+
+    # ------------------------------------------------------------------
     # I/O attribution
     # ------------------------------------------------------------------
     def io_attribution(self) -> List[Dict[str, object]]:
@@ -388,11 +511,18 @@ class TraceProfile:
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
-    def report_text(self, width: int = 80) -> str:
-        """The text "top" report: breakdowns, stay overlap, lanes, I/O."""
+    def report_text(self, width: int = 80, host: bool = False) -> str:
+        """The text "top" report: breakdowns, stay overlap, lanes, I/O.
+
+        ``host=True`` appends the dual-clock host section (per-stage host
+        seconds and ``host_seconds_per_sim_second``) when the trace
+        carries host stamps (``repro profile --host``).
+        """
         lines: List[str] = []
         for q in self.queries:
             lines.extend(self._query_section(q, width))
+        if host:
+            lines.extend(self._host_section())
         io = self.io_attribution()
         if io:
             lines.append("")
@@ -422,6 +552,44 @@ class TraceProfile:
                     + "\n    ".join(problems)
                 )
         return "\n".join(lines)
+
+    def _host_section(self) -> List[str]:
+        """Per-stage host wall-clock table (dual-clock traces only)."""
+        data = self.host()
+        if not data:
+            return [
+                "",
+                "host profile: trace carries no host stamps "
+                "(run with --host-profile / bind_host_clock)",
+            ]
+        lines = [
+            "",
+            "host profile (dual-clock):",
+            f"  host total {format_seconds(data['host_seconds'])} for "
+            f"{format_seconds(data['sim_seconds'])} simulated "
+            f"({data['host_seconds_per_sim_second']:.3e} host s / sim s)",
+            f"  edge throughput "
+            f"{data['edges_scanned_per_host_second']:,.0f} edges/host s "
+            f"({data['edges_scanned']:,} edges scanned)",
+            f"  {'stage':<10} {'host':>12} {'sim':>12} {'host s/sim s':>14}",
+        ]
+        stages: Dict[str, Dict[str, float]] = data["stages"]  # type: ignore[assignment]
+        for name, entry in sorted(
+            stages.items(), key=lambda kv: (-kv[1]["host_seconds"], kv[0])
+        ):
+            # A near-zero simulated denominator makes the ratio noise
+            # (pure-host work like staging glue); print "-" instead.
+            ratio = (
+                f"{entry['host_seconds_per_sim_second']:.3e}"
+                if entry["sim_seconds"] > 1e-9
+                else "-"
+            )
+            lines.append(
+                f"  {name:<10} {format_seconds(entry['host_seconds']):>12} "
+                f"{format_seconds(entry['sim_seconds']):>12} "
+                f"{ratio:>14}"
+            )
+        return lines
 
     def _query_section(self, q: QueryProfile, width: int) -> List[str]:
         lines = [

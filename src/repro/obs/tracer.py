@@ -67,7 +67,15 @@ class TraceError(ReproError):
 
 @dataclass
 class Span:
-    """One node of the trace tree, timed on the simulated clock."""
+    """One node of the trace tree, timed on the simulated clock.
+
+    When the owning tracer also carries a host clock (dual-clock
+    profiling, :mod:`repro.obs.hostprof`), ``host_start``/``host_end``
+    record the *wall-clock* side of the same span.  They stay at the
+    ``-1.0`` sentinel — and are omitted from :meth:`to_dict` — on
+    untraced-host runs, so the JSONL line schema is unchanged unless a
+    host clock was explicitly bound.
+    """
 
     span_id: int
     parent_id: Optional[int]
@@ -75,6 +83,8 @@ class Span:
     start: float
     end: float = -1.0
     attrs: Dict[str, object] = field(default_factory=dict)
+    host_start: float = -1.0
+    host_end: float = -1.0
 
     @property
     def duration(self) -> float:
@@ -84,6 +94,18 @@ class Span:
     def finished(self) -> bool:
         return self.end >= self.start
 
+    @property
+    def host_timed(self) -> bool:
+        """True when both host-side stamps were recorded."""
+        return self.host_start >= 0.0 and self.host_end >= self.host_start
+
+    @property
+    def host_duration(self) -> float:
+        """Host wall-clock seconds this span covered (0.0 if unstamped)."""
+        if not self.host_timed:
+            return 0.0
+        return self.host_end - self.host_start
+
     def set(self, **attrs: object) -> "Span":
         """Attach attributes (chainable); later calls override earlier."""
         self.attrs.update(attrs)
@@ -91,7 +113,7 @@ class Span:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (the JSONL exporter's line schema)."""
-        return {
+        out: Dict[str, object] = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -99,6 +121,10 @@ class Span:
             "end": self.end,
             "attrs": dict(self.attrs),
         }
+        if self.host_start >= 0.0:
+            out["host_start"] = self.host_start
+            out["host_end"] = self.host_end
+        return out
 
 
 class _ActiveSpan:
@@ -134,6 +160,7 @@ class Tracer:
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._clock = None
+        self._host = None
         self._next_id = 1
 
     # ------------------------------------------------------------------
@@ -141,6 +168,22 @@ class Tracer:
         """Attach the simulated clock spans read their times from."""
         self._clock = clock
         return self
+
+    def bind_host_clock(self, host_clock) -> "Tracer":
+        """Attach a host wall clock (dual-clock profiling).
+
+        Once bound, every nested span additionally records
+        ``host_start``/``host_end`` from this clock.  The host clock is
+        only ever *read* — it never touches the simulated clock or the
+        cost model, so simulated results stay bit-identical with the
+        host clock on or off (``tests/test_obs_hostprof.py``).
+        """
+        self._host = host_clock
+        return self
+
+    @property
+    def host_enabled(self) -> bool:
+        return self._host is not None
 
     def _now(self) -> float:
         if self._clock is None:
@@ -161,6 +204,8 @@ class Tracer:
             start=self._now(),
             attrs=dict(attrs),
         )
+        if self._host is not None:
+            sp.host_start = self._host.now()
         self._next_id += 1
         self.spans.append(sp)
         self._stack.append(sp)
@@ -173,6 +218,8 @@ class Tracer:
             )
         self._stack.pop()
         span.end = self._now()
+        if self._host is not None and span.host_start >= 0.0:
+            span.host_end = self._host.now()
 
     def emit(
         self,
@@ -259,6 +306,9 @@ class NullTracer(Tracer):
     enabled = False
 
     def bind_clock(self, clock) -> "NullTracer":
+        return self
+
+    def bind_host_clock(self, host_clock) -> "NullTracer":
         return self
 
     def span(self, name: str, **attrs: object) -> _NullActiveSpan:  # type: ignore[override]

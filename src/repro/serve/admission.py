@@ -21,18 +21,21 @@ thread-facing composition the HTTP layer uses.  :meth:`hold` /
 :meth:`release` gate flushing (tickets still accumulate) for
 drain-on-shutdown tests.
 
-Every flush attaches a fresh simulated-clock
+Every flush attaches a fresh dual-clock
 :class:`~repro.obs.tracer.Tracer` to the machine (tracing is
-timing/byte-neutral) and hands the per-flush delta reports, engine
-counters and span histograms to a ``metrics_sink`` callback — the service
-merges them into the long-lived ``/metrics`` registry, preserving the
-exact-reconciliation invariant (see docs/serving.md).
+timing/byte-neutral; the bound host clock only annotates spans) and hands
+the per-flush delta reports, engine counters and span histograms to a
+``metrics_sink`` callback — the service merges them into the long-lived
+``/metrics`` registry, preserving the exact-reconciliation invariant (see
+docs/serving.md).  The flush id and every drained ticket's request id are
+stamped into the batch's ``query`` span attributes (end-to-end request
+tracing), and each fulfilled ticket carries the flush's span list for the
+service's ``/debug/requests`` ring.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -40,6 +43,7 @@ from repro.algorithms.streaming import BATCH_WIDTH
 from repro.engines.session import run_staged_queries
 from repro.errors import QueueFullError, ServeError
 from repro.obs.counters import CounterRegistry
+from repro.obs.hostprof import HOST_CLOCK, HostClock
 from repro.obs.tracer import Tracer
 from repro.serve.registry import GraphEntry
 
@@ -53,12 +57,18 @@ class Ticket:
     __slots__ = (
         "request_id", "entry", "enqueued_at", "queue_wait",
         "done", "result", "report", "flush_id", "flush_size", "error",
+        "spans",
     )
 
-    def __init__(self, request_id: str, entry: Union[int, Sequence[int]]):
+    def __init__(
+        self,
+        request_id: str,
+        entry: Union[int, Sequence[int]],
+        enqueued_at: float = 0.0,
+    ):
         self.request_id = request_id
         self.entry = entry
-        self.enqueued_at = time.monotonic()
+        self.enqueued_at = enqueued_at
         self.queue_wait = 0.0
         self.done = threading.Event()
         self.result = None          # EngineResult once fulfilled
@@ -66,18 +76,20 @@ class Ticket:
         self.flush_id: Optional[str] = None
         self.flush_size = 0
         self.error: Optional[BaseException] = None
+        self.spans: Optional[list] = None  # the flush's span trace
 
 
 class FlushRecord:
     """What one flush executed (returned by :meth:`flush` for tests)."""
 
-    __slots__ = ("flush_id", "tickets", "report", "registry")
+    __slots__ = ("flush_id", "tickets", "report", "registry", "spans")
 
-    def __init__(self, flush_id, tickets, report, registry):
+    def __init__(self, flush_id, tickets, report, registry, spans=None):
         self.flush_id = flush_id
         self.tickets = tickets
         self.report = report
         self.registry = registry
+        self.spans = spans if spans is not None else []
 
     @property
     def size(self) -> int:
@@ -93,6 +105,7 @@ class AdmissionController:
         capacity: int = 128,
         batch_width: int = BATCH_WIDTH,
         metrics_sink: Optional[Callable[[CounterRegistry], None]] = None,
+        clock: Optional[HostClock] = None,
     ) -> None:
         if capacity < 1:
             raise ServeError(f"queue capacity must be >= 1, got {capacity}")
@@ -105,6 +118,10 @@ class AdmissionController:
         self.capacity = capacity
         self.batch_width = batch_width
         self.metrics_sink = metrics_sink
+        # Host time (queue-wait stamps, dual-clock flush traces) flows
+        # through the sanctioned HostClock choke point — this module
+        # never reads the wall clock directly (analyzer rule FB207).
+        self.clock = clock if clock is not None else HOST_CLOCK
         self._queue: "deque[Ticket]" = deque()
         self._mutex = threading.Lock()     # guards queue + counters
         self._held = False
@@ -141,7 +158,7 @@ class AdmissionController:
                     f"({pending}/{self.capacity})",
                     retry_after=float(max(1, flushes_needed)),
                 )
-            ticket = Ticket(request_id, entry)
+            ticket = Ticket(request_id, entry, enqueued_at=self.clock.now())
             self._queue.append(ticket)
             self._accepted += 1
             return ticket
@@ -164,7 +181,7 @@ class AdmissionController:
                 ]
                 self._flush_count += 1
                 flush_id = f"{self.entry.name}-flush-{self._flush_count:06d}"
-            drained_at = time.monotonic()
+            drained_at = self.clock.now()
             for t in tickets:
                 t.queue_wait = drained_at - t.enqueued_at
                 t.flush_id = flush_id
@@ -184,12 +201,19 @@ class AdmissionController:
         entry = self.entry
         tracer = Tracer()
         entry.machine.attach_tracer(tracer)
+        # Dual-clock: host stamps on the flush's spans feed the request
+        # trace (/debug/requests/{id}); strictly neutral for sim results.
+        tracer.bind_host_clock(self.clock)
         batch = run_staged_queries(
             entry.engine,
             entry.staged,
             entry.checkpoint,
             [t.entry for t in tickets],
             mode="batched",
+            span_attrs={
+                "flush_id": flush_id,
+                "request_ids": [t.request_id for t in tickets],
+            },
         )
         # All queries of one <=BATCH_WIDTH flush share a single batch
         # timeline, hence a single delta report object.
@@ -198,6 +222,7 @@ class AdmissionController:
         for ticket, result in zip(tickets, batch.queries):
             ticket.result = result
             ticket.report = report
+            ticket.spans = tracer.spans
             registry.ingest_result(result)
         registry.ingest_spans(tracer)
         registry.inc(
@@ -216,7 +241,7 @@ class AdmissionController:
             entry.flushes += 1
         if self.metrics_sink is not None:
             self.metrics_sink(registry)
-        return FlushRecord(flush_id, tickets, report, registry)
+        return FlushRecord(flush_id, tickets, report, registry, tracer.spans)
 
     def drain_pending(self) -> int:
         """Flush until the queue is empty; returns tickets fulfilled."""

@@ -35,9 +35,11 @@ reports + unique flush reports)) == []`` bit-for-bit.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from repro.algorithms.pagerank import PageRankAlgorithm
 from repro.algorithms.sssp import WeightedSSSPAlgorithm, hash_weights
@@ -51,10 +53,13 @@ from repro.errors import (
     ServeError,
     UnknownGraphError,
 )
-from repro.obs.counters import CounterRegistry
+from repro.obs.counters import DEFAULT_DURATION_BUCKETS, CounterRegistry
 from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE, to_prometheus
+from repro.obs.hostprof import HOST_CLOCK
+from repro.obs.timeseries import TimeSeries, quantile_summary
 from repro.obs.tracer import Tracer
 from repro.serve.admission import AdmissionController
+from repro.serve.debug import RequestLog, RequestRecord
 from repro.serve.registry import ArtifactRegistry, GraphEntry, parse_graph_spec
 
 JSON_CONTENT_TYPE = "application/json"
@@ -64,6 +69,10 @@ JSON_CONTENT_TYPE = "application/json"
 QUEUE_WAIT_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 QUERY_ALGORITHMS = ("bfs", "sssp", "pagerank")
+
+#: Client-supplied ``X-Request-Id`` values must match this (safe charset,
+#: length-capped); anything else falls back to a generated id.
+REQUEST_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class _RequestProblem(Exception):
@@ -132,6 +141,10 @@ class GraphService:
         self._registry_metrics = CounterRegistry()
         self._request_lock = threading.Lock()
         self._request_count = 0
+        #: Bounded recent-request ring behind ``GET /debug/requests``.
+        self.request_log = RequestLog()
+        #: Rolling windowed metrics behind ``GET /debug/timeseries``.
+        self.timeseries = TimeSeries()
         self._draining = False
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -232,6 +245,17 @@ class GraphService:
     def _merge_metrics(self, registry: CounterRegistry) -> None:
         with self._metrics_lock:
             self._registry_metrics.merge(registry)
+        # Feed the rolling time-series from the same per-flush samples
+        # the admission controller emits (no second accounting source).
+        for name, labels, value in registry.items():
+            if name == "serve_flushes_total":
+                self.timeseries.record_flush(
+                    labels.get("graph", "?"), flushes=int(value)
+                )
+            elif name == "serve_flushed_queries_total":
+                self.timeseries.record_flush(
+                    labels.get("graph", "?"), flushes=0, queries=int(value)
+                )
 
     def metrics_snapshot(self) -> CounterRegistry:
         """Copy of the service registry (safe to export/reconcile)."""
@@ -243,6 +267,7 @@ class GraphService:
     def _count_request(
         self, graph: str, algorithm: str, status: int,
         queue_wait: Optional[float] = None,
+        sim_seconds: Optional[float] = None,
     ) -> None:
         with self._metrics_lock:
             self._registry_metrics.inc(
@@ -259,6 +284,19 @@ class GraphService:
                     buckets=QUEUE_WAIT_BUCKETS,
                     graph=graph,
                 )
+            if sim_seconds is not None:
+                self._registry_metrics.observe(
+                    "serve_service_sim_seconds",
+                    sim_seconds,
+                    buckets=DEFAULT_DURATION_BUCKETS,
+                    graph=graph,
+                )
+        self.timeseries.record_request(
+            graph,
+            queue_wait=queue_wait or 0.0,
+            service_time=sim_seconds or 0.0,
+            error=status >= 400,
+        )
 
     def next_request_id(self) -> str:
         with self._request_lock:
@@ -369,7 +407,23 @@ class GraphService:
             "X-Flush-Id": str(ticket.flush_id),
             "X-Flush-Size": str(ticket.flush_size),
         }
-        self._count_request(entry.name, "bfs", 200, ticket.queue_wait)
+        self._count_request(
+            entry.name, "bfs", 200, ticket.queue_wait, report.execution_time
+        )
+        self.timeseries.sample_depth(entry.name, controller.depth)
+        self.request_log.record(
+            RequestRecord(
+                request_id=request_id,
+                graph=entry.name,
+                algorithm="bfs",
+                roots=root_entry,
+                status=200,
+                flush_id=ticket.flush_id,
+                flush_size=ticket.flush_size,
+                timing=body["timing"],
+                spans=ticket.spans,
+            )
+        )
         return body, headers
 
     def _handle_serial(
@@ -407,6 +461,7 @@ class GraphService:
         with entry.lock:
             tracer = Tracer()
             entry.machine.attach_tracer(tracer)
+            tracer.bind_host_clock(HOST_CLOCK)
             batch = run_staged_queries(
                 engine,
                 entry.staged,
@@ -414,6 +469,10 @@ class GraphService:
                 [root_entry],
                 algorithm=algo,
                 mode="serial",
+                span_attrs={
+                    "flush_id": request_id,
+                    "request_ids": [request_id],
+                },
             )
             result = batch.queries[0]
             registry = CounterRegistry.from_report(result.report)
@@ -458,7 +517,20 @@ class GraphService:
             "X-Sim-Compute-Seconds": f"{report.compute_time:.9f}",
             "X-Sim-Iowait-Seconds": f"{report.iowait_time:.9f}",
         }
-        self._count_request(entry.name, kind, 200, None)
+        self._count_request(entry.name, kind, 200, None, report.execution_time)
+        self.request_log.record(
+            RequestRecord(
+                request_id=request_id,
+                graph=entry.name,
+                algorithm=kind,
+                roots=root_entry if kind == "sssp" else None,
+                status=200,
+                flush_id=request_id,
+                flush_size=1,
+                timing=body["timing"],
+                spans=tracer.spans,
+            )
+        )
         return body, headers
 
     # ------------------------------------------------------------------
@@ -476,7 +548,32 @@ class GraphService:
         controller = self.controller(entry)
         payload = entry.stats()
         payload["admission"] = controller.counters()
+        snap = self.metrics_snapshot()
+        payload["latency"] = {
+            "queue_wait_seconds": quantile_summary(
+                snap.histogram("serve_queue_wait_seconds", graph=name)
+            ),
+            "service_sim_seconds": quantile_summary(
+                snap.histogram("serve_service_sim_seconds", graph=name)
+            ),
+        }
         return payload
+
+    def debug_requests(self) -> Dict:
+        return {"requests": self.request_log.summaries()}
+
+    def debug_request(self, request_id: str) -> Dict:
+        record = self.request_log.get(request_id)
+        if record is None:
+            raise _RequestProblem(
+                404, "not_found",
+                f"request {request_id!r} is not in the recent-request ring "
+                f"(capacity {self.request_log.capacity})",
+            )
+        return record.to_dict()
+
+    def debug_timeseries(self, windows: Optional[int] = None) -> Dict:
+        return self.timeseries.snapshot(windows=windows)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -489,9 +586,21 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # HTTP access logging is the deployment's job, not ours
 
+    def _request_id(self) -> str:
+        """Honor a valid client-supplied ``X-Request-Id``, else generate.
+
+        Validated against :data:`REQUEST_ID_PATTERN` (safe charset, at
+        most 64 chars) so external correlation ids can't smuggle header
+        injection or unbounded strings into traces and logs.
+        """
+        supplied = self.headers.get("X-Request-Id", "")
+        if supplied and REQUEST_ID_PATTERN.match(supplied):
+            return supplied
+        return self.service.next_request_id()
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
-        request_id = self.service.next_request_id()
+        request_id = self._request_id()
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         try:
             if parts == ["healthz"]:
@@ -505,6 +614,28 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
                 self._send_json(
                     200, self.service.stats(parts[1]), request_id
+                )
+            elif parts == ["debug", "requests"]:
+                self._send_json(
+                    200, self.service.debug_requests(), request_id
+                )
+            elif len(parts) == 3 and parts[:2] == ["debug", "requests"]:
+                self._send_json(
+                    200, self.service.debug_request(parts[2]), request_id
+                )
+            elif parts == ["debug", "timeseries"]:
+                query = parse_qs(urlparse(self.path).query)
+                windows: Optional[int] = None
+                if "windows" in query:
+                    try:
+                        windows = int(query["windows"][0])
+                    except ValueError:
+                        raise _RequestProblem(
+                            400, "bad_request",
+                            "\"windows\" must be an integer",
+                        )
+                self._send_json(
+                    200, self.service.debug_timeseries(windows), request_id
                 )
             elif len(parts) >= 2 and parts[0] == "graphs" and parts[-1] in (
                 QUERY_ALGORITHMS
@@ -521,7 +652,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_problem(_problem_for(exc), request_id)
 
     def do_POST(self) -> None:
-        request_id = self.service.next_request_id()
+        request_id = self._request_id()
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         try:
             payload = self._read_json()
@@ -602,6 +733,17 @@ class _Handler(BaseHTTPRequestHandler):
         if graph is not None and algorithm in QUERY_ALGORITHMS:
             self.service._count_request(
                 graph, algorithm, problem.status, None
+            )
+            # Failed query requests land in the debug ring too — a 429
+            # burst should be explainable after the fact by id.
+            self.service.request_log.record(
+                RequestRecord(
+                    request_id=request_id,
+                    graph=graph,
+                    algorithm=algorithm,
+                    status=problem.status,
+                    error={"type": problem.kind, "message": problem.message},
+                )
             )
         body = {
             "error": {"type": problem.kind, "message": problem.message},

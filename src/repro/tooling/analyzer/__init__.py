@@ -1,4 +1,4 @@
-"""Whole-program effect & determinism analyzer (rules FB201-FB206).
+"""Whole-program effect & determinism analyzer (rules FB201-FB207).
 
 Three layers over stdlib ``ast`` — no analyzed code is executed:
 

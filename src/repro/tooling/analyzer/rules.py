@@ -39,6 +39,15 @@ FB206  snapshot-completeness
     instance attribute: an attribute assigned outside ``__init__`` that
     the snapshot/restore pair never references is state that silently
     escapes the rewind protocol.
+FB207  wallclock-choke-point
+    No direct wall-clock read (``time.time``/``perf_counter``/
+    ``monotonic``/..., ``datetime.now``) outside ``repro/obs/hostprof.py``
+    — the one sanctioned host-clock module.  Everything else takes a
+    :class:`~repro.obs.hostprof.HostClock` handle, so host time stays
+    injectable (tests pass a ``ManualHostClock``) and grep-ably absent
+    from the simulation.  The per-file lint (FB101/FB108) bans wall
+    clocks in the sim/engine layers; this rule closes the rest of the
+    tree.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ from repro.tooling.analyzer.effects import (
     PatternSite,
     RNG,
     VFS_MUTATE,
+    WALLCLOCK,
     witness_path,
 )
 from repro.tooling.analyzer.symbols import SymbolTable, subsystem_of
@@ -68,6 +78,7 @@ RULES: Dict[str, str] = {
     "FB204": "direct numpy.random/random primitive outside repro.utils.rng",
     "FB205": "order-sensitive iteration (set / unsorted listdir-glob)",
     "FB206": "mutable attribute not covered by the snapshot/restore protocol",
+    "FB207": "direct wall-clock read outside repro.obs.hostprof",
 }
 
 #: Method names that mutate a container in place (FB206 mutation scan).
@@ -139,6 +150,7 @@ def run_all_rules(project: Project) -> List[Finding]:
     findings.extend(check_unseeded_rng(project))
     findings.extend(check_order_sensitivity(project))
     findings.extend(check_snapshot_completeness(project))
+    findings.extend(check_wallclock_choke_point(project))
     return findings
 
 
@@ -584,6 +596,36 @@ def _mutator_call_attr(node: ast.Call) -> Optional[str]:
     ):
         return owner.attr
     return None
+
+
+# ----------------------------------------------------------------------
+# FB207
+# ----------------------------------------------------------------------
+def check_wallclock_choke_point(project: Project) -> List[Finding]:
+    findings = []
+    for site in project.pattern_sites:
+        if site.effect != WALLCLOCK:
+            continue
+        if site.module == "repro.obs.hostprof":
+            # The one sanctioned host-clock module: HostClock.now() wraps
+            # time.monotonic() so everything else takes a clock handle.
+            continue
+        findings.append(
+            Finding(
+                path=site.path,
+                line=site.line,
+                col=site.col,
+                code="FB207",
+                symbol=site.function,
+                message=(
+                    f"direct {site.detail}() wall-clock read; take a "
+                    "repro.obs.hostprof.HostClock handle (HOST_CLOCK by "
+                    "default) so host time stays injectable and the "
+                    "simulation provably never sees it"
+                ),
+            )
+        )
+    return findings
 
 
 def _short(chain: List[str]) -> List[str]:

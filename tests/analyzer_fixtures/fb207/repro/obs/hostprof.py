@@ -1,0 +1,11 @@
+"""The sanctioned wall-clock choke point — reads are allowed here."""
+
+import time
+
+
+class HostClock:
+    def now(self):
+        return time.monotonic()
+
+
+HOST_CLOCK = HostClock()

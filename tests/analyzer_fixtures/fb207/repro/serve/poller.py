@@ -1,0 +1,27 @@
+"""Positive + suppressed cases: wall-clock reads outside obs/hostprof."""
+
+import time
+from datetime import datetime
+
+from repro.obs.hostprof import HOST_CLOCK
+
+
+def stamp_bad():
+    return time.monotonic()
+
+
+def stamp_also_bad():
+    return datetime.now()
+
+
+def stamp_suppressed():
+    return time.perf_counter()  # noqa: FB207
+
+
+def wait_ok(seconds):
+    # Sleeping is pacing, not reading the clock — never flagged.
+    time.sleep(seconds)
+
+
+def stamp_good():
+    return HOST_CLOCK.now()

@@ -108,6 +108,7 @@ class TestOutputFormats:
         }
         assert set(doc["rules"]) == {
             "FB200", "FB201", "FB202", "FB203", "FB204", "FB205", "FB206",
+            "FB207",
         }
 
     def test_sarif_document_shape(self, isolated_cwd, capsys):

@@ -1,4 +1,4 @@
-"""Rule-level tests for the whole-program analyzer (FB200-FB206).
+"""Rule-level tests for the whole-program analyzer (FB200-FB207).
 
 Each FB2xx rule is exercised against a fixture mini-package under
 ``tests/analyzer_fixtures/`` shaped like the real tree, in three
@@ -160,6 +160,33 @@ class TestFB206SnapshotCompleteness:
         }
         assert new == {"repro.storage.machine.Machine._shadow_state"}
         assert all(f.code == "FB206" for f in broken.findings)
+
+
+class TestFB207WallclockChokePoint:
+    def test_wallclock_reads_flagged_outside_hostprof(self):
+        result = run_fixture("fb207")
+        assert codes(result) == ["FB207", "FB207"]
+        messages = " ".join(f.message for f in result.findings)
+        assert "time.monotonic" in messages
+        assert "datetime.now" in messages or "datetime.datetime.now" in messages
+        assert "HostClock" in result.findings[0].message
+
+    def test_hostprof_module_is_the_sanctioned_home(self):
+        result = run_fixture("fb207")
+        assert not any("obs/hostprof.py" in f.path for f in result.findings)
+
+    def test_sleep_noqa_and_clock_handle_are_clean(self):
+        result = run_fixture("fb207")
+        # Only the two bad read sites: stamp_suppressed (noqa), wait_ok
+        # (time.sleep is pacing, not a read) and stamp_good (HostClock
+        # handle) stay clean.
+        assert {f.line for f in result.findings} == {10, 14}
+
+    def test_real_hostprof_is_the_only_wallclock_site_in_src(self):
+        """Acceptance: the shipped tree's wall-clock reads all live in
+        repro/obs/hostprof.py — FB207 holds with no baseline entries."""
+        result = analyze_paths([str(REPO_ROOT / "src" / "repro")])
+        assert not any(f.code == "FB207" for f in result.findings)
 
 
 class TestMergedTree:

@@ -453,6 +453,18 @@ class TestHistograms:
         assert 'lat_seconds_sum{stage="scatter"} 100.5' in text
         assert 'lat_seconds_count{stage="scatter"} 2' in text
 
+    def test_quantile_summary_lines_are_emitted_and_parse_clean(self):
+        reg = CounterRegistry()
+        for v in (0.5, 0.5, 0.5, 100.0):
+            reg.observe("lat_seconds", v, buckets=(1.0, 10.0), stage="scatter")
+        text = to_prometheus(reg)
+        # Informational p50/p95/p99 lines ride along with each histogram…
+        assert 'lat_seconds{quantile="0.5",stage="scatter"}' in text
+        assert 'lat_seconds{quantile="0.95",stage="scatter"}' in text
+        assert 'lat_seconds{quantile="0.99",stage="scatter"}' in text
+        # …and the parser skips them, so the round-trip stays exact.
+        assert parse_prometheus(text) == reg
+
     def test_parse_rejects_bucket_without_le(self):
         text = (
             "# TYPE h histogram\n"

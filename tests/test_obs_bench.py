@@ -5,7 +5,10 @@ Contracts locked down here:
 * **schema round-trip** — a collected snapshot writes as canonical JSON
   and loads back equal, with schema version checked;
 * **determinism** — two collections at the same divisor/seed produce
-  byte-identical documents (no timestamps, no host facts);
+  byte-identical *canonical* documents (no timestamps, no host facts
+  outside the informational ``host`` section);
+* **host section** — v3 snapshots carry a per-scenario dual-clock
+  breakdown that the regression gate provably never reads;
 * **gate behaviour** — improvements pass, regressions beyond tolerance
   fail with a readable per-metric diff, direction-aware per metric;
 * **sequencing** — ``BENCH_<seq>.json`` naming, newest-pair comparison,
@@ -27,6 +30,7 @@ from repro.obs.bench import (
     TOLERANCES,
     BenchError,
     Scenario,
+    canonical_snapshot,
     collect_snapshot,
     compare_latest,
     compare_snapshots,
@@ -100,10 +104,31 @@ class TestCollection:
         assert sc["x-stream"]["trim_effectiveness"] == 0.0
 
     def test_snapshot_is_deterministic(self, snapshot):
+        # Byte-identical on the canonical view; the informational host
+        # section is the one place wall-clock facts may differ.
         again = collect_snapshot(
             runner=ExperimentRunner(divisor=DIVISOR), scenarios=FAST_SCENARIOS
         )
-        assert snapshot_to_json(again) == snapshot_to_json(snapshot)
+        assert snapshot_to_json(canonical_snapshot(again)) == snapshot_to_json(
+            canonical_snapshot(snapshot)
+        )
+
+    def test_host_section_is_informational(self, snapshot):
+        # Present for every single-run scenario, with the dual-clock
+        # headline metrics...
+        host = snapshot["host"]
+        assert set(host) == {"fastbfs", "x-stream"}
+        for doc in host.values():
+            assert doc["host_seconds"] > 0.0
+            assert doc["host_seconds_per_sim_second"] > 0.0
+            assert doc["edges_scanned_per_host_second"] > 0.0
+            assert doc["stages"]
+        # ...and provably invisible to the gate: wildly different host
+        # sections compare clean.
+        other = copy.deepcopy(snapshot)
+        other["host"] = {"fastbfs": {"host_seconds": 1e9}}
+        cmp_ = compare_snapshots(snapshot, other)
+        assert cmp_.ok and not cmp_.regressions and not cmp_.problems
 
     def test_snapshot_json_has_no_timestamps(self, snapshot):
         text = snapshot_to_json(snapshot)
