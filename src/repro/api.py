@@ -231,6 +231,13 @@ def serve(
     capacity: int = 128,
     max_graphs: int = 4,
     block: bool = True,
+    fault_profile: Optional[str] = None,
+    fault_seed: int = 0,
+    fault_plan=None,
+    retry=None,
+    breaker_policy=None,
+    default_deadline_ms: Optional[float] = None,
+    flush_retries: int = 2,
 ):
     """Boot the long-lived graph query service (see docs/serving.md).
 
@@ -245,9 +252,28 @@ def serve(
     (``rmat22``), generator specs (``rmat:scale=12,edge_factor=8,seed=7``)
     or either form aliased as ``name@spec``.  ``capacity`` bounds the
     per-graph admission queue; ``max_graphs`` bounds the registry LRU.
+
+    Resilience knobs (see "Serving under faults" in docs/serving.md):
+    ``fault_profile`` names a seeded serve fault plan
+    (:data:`~repro.tooling.chaos.SERVE_FAULT_PROFILES`; drawn with
+    ``fault_seed``) attached to every registered graph's machine, or pass
+    an explicit ``fault_plan`` / per-registration override.  ``retry``
+    is an I/O-level :class:`~repro.storage.faults.RetryPolicy`,
+    ``breaker_policy`` a :class:`~repro.serve.health.BreakerPolicy`,
+    ``default_deadline_ms`` the server-wide request deadline and
+    ``flush_retries`` the batched-flush attempt budget before the
+    serial fallback.
     """
     from repro.serve import GraphService
 
+    if fault_profile is not None:
+        if fault_plan is not None:
+            raise ConfigError(
+                "pass either fault_profile or fault_plan, not both"
+            )
+        from repro.tooling.chaos import serve_fault_plan
+
+        fault_plan = serve_fault_plan(fault_profile, fault_seed)
     service = GraphService(
         host=host,
         port=port,
@@ -255,6 +281,11 @@ def serve(
         engine=engine,
         capacity=capacity,
         max_graphs=max_graphs,
+        fault_plan=fault_plan,
+        retry=retry,
+        breaker_policy=breaker_policy,
+        default_deadline_ms=default_deadline_ms,
+        flush_retries=flush_retries,
     )
     service.start()
     if not block:

@@ -162,8 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep seeded fault schedules; exit 1 on any violation",
     )
     chaos.add_argument(
-        "--profile", choices=["smoke", "full"], default="smoke",
-        help="sweep size: smoke (CI gate) or full (acceptance, >=50 seeds)",
+        "--profile", choices=["smoke", "full", "serve"], default="smoke",
+        help="sweep size: smoke (CI gate), full (acceptance, >=50 seeds) "
+             "or serve (live GraphService under seeded faults)",
     )
     chaos.add_argument("--seed", type=int, default=0,
                        help="master seed; trials derive their schedules from it")
@@ -233,6 +234,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-graph admission queue capacity")
     serve_p.add_argument("--max-graphs", type=int, default=4,
                          help="artifact registry LRU size")
+    serve_p.add_argument(
+        "--fault-profile", choices=["transient", "crashy", "hostile"],
+        default=None, metavar="NAME",
+        help="attach a seeded serve fault plan to every registered "
+             "graph's machine (transient | crashy | hostile; see "
+             "docs/serving.md#serving-under-faults)",
+    )
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="seed the --fault-profile plan is drawn with")
+    serve_p.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="server-wide per-request deadline; expired requests get "
+             "typed 504s (default: no deadline)",
+    )
+    serve_p.add_argument("--flush-retries", type=int, default=2,
+                         help="batched flush attempts before the serial "
+                              "fallback (default 2)")
 
     top = sub.add_parser(
         "top",
@@ -756,9 +774,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         max_graphs=args.max_graphs,
         block=False,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        default_deadline_ms=args.default_deadline_ms,
+        flush_retries=args.flush_retries,
     )
     graphs = ", ".join(sorted(service.registry.names())) or "(none)"
     print(f"serving on {service.address}  graphs: {graphs}")
+    if args.fault_profile:
+        print(f"fault profile: {args.fault_profile} (seed {args.fault_seed})")
     print("endpoints: /healthz /metrics /graphs "
           "/graphs/<name>/{bfs,sssp,pagerank,stats}")
     try:

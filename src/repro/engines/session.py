@@ -154,6 +154,32 @@ def _release_swapped_files(staged: StagedGraph, rt, protect_staged: bool) -> Non
             vfs.delete_if_exists(f.name)
 
 
+def _run_with_recovery(session, invoke, max_recoveries: int):
+    """Run ``invoke()``; on :class:`CrashError`, replay via ``session.recover()``.
+
+    The chaos harness's crash/resume loop, packaged for callers that want
+    recovery built in (the serving layer's admission flushes).  Up to
+    ``max_recoveries`` replays are attempted — each rewinds the machine to
+    the session's entry checkpoint and re-runs, so a surviving replay is
+    bit-identical to an uncrashed run.  ``max_recoveries=0`` keeps the
+    historical behaviour: the first crash propagates untouched.
+    """
+    try:
+        return invoke()
+    except CrashError:
+        recoveries = 0
+        outcome = None
+        while outcome is None:
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            try:
+                outcome = session.recover()
+            except CrashError:
+                continue
+        return outcome
+
+
 def run_staged_queries(
     engine: "EdgeCentricEngine",
     staged: StagedGraph,
@@ -163,6 +189,7 @@ def run_staged_queries(
     mode: str = "serial",
     restore_first: bool = True,
     span_attrs: Optional[dict] = None,
+    max_recoveries: int = 0,
 ):
     """Run one query per ``roots`` entry against an existing artifact.
 
@@ -195,6 +222,12 @@ def run_staged_queries(
     batch chunk (serial mode: each query span carries its own single-id
     slice); batched query slots additionally carry their own
     ``request_id`` on the ``query_slot`` marker.
+
+    ``max_recoveries > 0`` arms the crash/resume loop: a
+    :class:`~repro.errors.CrashError` inside any session triggers up to
+    that many ``session.recover()`` replays (each counted in
+    ``extras["recovered"]`` and traced as a ``recover`` span) before the
+    crash propagates.  Only meaningful on fault-injected machines.
     """
     from repro.algorithms.streaming import BATCH_WIDTH
     from repro.engines.base import _is_root_sequence
@@ -248,7 +281,9 @@ def run_staged_queries(
                 batch_index=num_batches,
                 span_attrs=_sliced_attrs(start, len(chunk)),
             )
-            results = session.run(chunk)
+            results = _run_with_recovery(
+                session, lambda: session.run(chunk), max_recoveries
+            )
             shared_iterations.extend(session.shared_iterations)
             batch_times.append(session.report.execution_time)
             queries.extend(results)
@@ -262,10 +297,20 @@ def run_staged_queries(
                 span_attrs=_sliced_attrs(q, 1),
             )
             if _is_root_sequence(entry):
-                result = session.run(roots=entry, validated_roots=validated[q])
+                result = _run_with_recovery(
+                    session,
+                    lambda: session.run(
+                        roots=entry, validated_roots=validated[q]
+                    ),
+                    max_recoveries,
+                )
             else:
-                result = session.run(
-                    root=int(entry), validated_roots=validated[q]
+                result = _run_with_recovery(
+                    session,
+                    lambda: session.run(
+                        root=int(entry), validated_roots=validated[q]
+                    ),
+                    max_recoveries,
                 )
             queries.append(result)
     for q, result in enumerate(queries):

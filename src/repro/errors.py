@@ -105,5 +105,48 @@ class QueueFullError(ServeError):
         self.retry_after = retry_after
 
 
+class GraphQuarantinedError(ServeError):
+    """The graph's circuit breaker is open: serving is suspended.
+
+    Raised at admission without touching the graph's machine.  Carries
+    ``retry_after`` (seconds until probation re-entry) so the HTTP layer
+    can emit a 503 with a deterministic ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class FlushFailedError(ServeError):
+    """A batched flush kept failing after retries and serial fallback.
+
+    The only way an injected storage fault reaches a serving client:
+    checkpoint-replay retries and the per-ticket serial fallback were all
+    exhausted.  Mapped to HTTP 503 with ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before (or while) it was served.
+
+    Raised for tickets whose ``deadline_ms`` budget ran out at dequeue or
+    after their flush; mapped to HTTP 504.  ``queue_wait`` carries the
+    seconds the ticket sat in the admission queue so latency accounting
+    survives into the request log and time-series rings.
+    """
+
+    def __init__(
+        self, message: str, deadline_ms: float = 0.0, queue_wait: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.queue_wait = queue_wait
+
+
 class SanitizerError(ReproError):
     """The runtime sanitizer detected a simulation-protocol violation."""

@@ -3,13 +3,15 @@
 ``repro serve`` / :func:`repro.api.serve` front door: an
 :class:`~repro.serve.registry.ArtifactRegistry` of named staged graphs,
 an :class:`~repro.serve.admission.AdmissionController` per graph that
-coalesces concurrent BFS requests into MS-BFS batches, and a stdlib
-HTTP/JSON API (:class:`~repro.serve.app.GraphService`).  See
-docs/serving.md.
+coalesces concurrent BFS requests into MS-BFS batches, a per-graph
+:class:`~repro.serve.health.CircuitBreaker` (healthy → degraded →
+quarantined under flush failures), and a stdlib HTTP/JSON API
+(:class:`~repro.serve.app.GraphService`).  See docs/serving.md.
 """
 
 from repro.serve.admission import AdmissionController, FlushRecord, Ticket
 from repro.serve.app import GraphService
+from repro.serve.health import BreakerPolicy, CircuitBreaker
 from repro.serve.registry import (
     ArtifactRegistry,
     GraphEntry,
@@ -20,6 +22,8 @@ from repro.serve.registry import (
 __all__ = [
     "AdmissionController",
     "ArtifactRegistry",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "FlushRecord",
     "GraphEntry",
     "GraphService",

@@ -8,14 +8,16 @@ serial staged queries under the graph's entry lock.
 
 Endpoints (details + curl examples in docs/serving.md):
 
-* ``GET  /healthz`` — liveness + registered graph list.
+* ``GET  /healthz`` — liveness + per-graph readiness/health states.
+* ``GET  /debug/health`` — breaker snapshots + transition logs.
 * ``GET  /metrics`` — Prometheus text exposition of the service registry.
 * ``GET  /graphs`` — registered graph names.
 * ``POST /graphs/{name}`` — register a graph from a spec
   (``{"spec": "rmat:scale=10,edge_factor=8,seed=7"}``).
 * ``GET  /graphs/{name}/stats`` — artifact + serving statistics.
 * ``POST /graphs/{name}/bfs`` — ``{"root": 3}`` or ``{"roots": [3, 4]}``
-  (one multi-source query); coalesced + batched.
+  (one multi-source query); coalesced + batched.  Optional
+  ``"deadline_ms"`` bounds queue wait + flush time (expired → 504).
 * ``POST /graphs/{name}/sssp`` — ``{"root": 3, "max_weight": 8}``.
 * ``POST /graphs/{name}/pagerank`` — ``{"rounds": 5, "damping": 0.85}``.
 
@@ -47,7 +49,12 @@ from repro.algorithms.streaming import BFSAlgorithm
 from repro.engines.session import run_staged_queries
 from repro.errors import (
     ConfigError,
+    CrashError,
+    DeadlineExceededError,
     EngineError,
+    FlushFailedError,
+    GraphQuarantinedError,
+    IOFaultError,
     QueueFullError,
     ReproError,
     ServeError,
@@ -55,12 +62,14 @@ from repro.errors import (
 )
 from repro.obs.counters import DEFAULT_DURATION_BUCKETS, CounterRegistry
 from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE, to_prometheus
-from repro.obs.hostprof import HOST_CLOCK
+from repro.obs.hostprof import HOST_CLOCK, HostClock
 from repro.obs.timeseries import TimeSeries, quantile_summary
 from repro.obs.tracer import Tracer
-from repro.serve.admission import AdmissionController
+from repro.serve.admission import DEFAULT_MAX_RECOVERIES, AdmissionController
 from repro.serve.debug import RequestLog, RequestRecord
+from repro.serve.health import STATE_CODES, BreakerPolicy
 from repro.serve.registry import ArtifactRegistry, GraphEntry, parse_graph_spec
+from repro.storage.faults import FaultPlan, RetryPolicy
 
 JSON_CONTENT_TYPE = "application/json"
 
@@ -85,6 +94,8 @@ class _RequestProblem(Exception):
         self.kind = kind
         self.message = message
         self.headers = headers or {}
+        #: Queue wait carried by deadline problems (504 accounting).
+        self.queue_wait: Optional[float] = None
 
 
 def _problem_for(exc: Exception) -> _RequestProblem:
@@ -96,6 +107,20 @@ def _problem_for(exc: Exception) -> _RequestProblem:
     if isinstance(exc, QueueFullError):
         return _RequestProblem(
             429, "queue_full", str(exc),
+            headers={"Retry-After": f"{exc.retry_after:g}"},
+        )
+    if isinstance(exc, DeadlineExceededError):
+        problem = _RequestProblem(504, "deadline_exceeded", str(exc))
+        problem.queue_wait = exc.queue_wait
+        return problem
+    if isinstance(exc, GraphQuarantinedError):
+        return _RequestProblem(
+            503, "graph_quarantined", str(exc),
+            headers={"Retry-After": f"{exc.retry_after:g}"},
+        )
+    if isinstance(exc, FlushFailedError):
+        return _RequestProblem(
+            503, "flush_failed", str(exc),
             headers={"Retry-After": f"{exc.retry_after:g}"},
         )
     if isinstance(exc, ServeError):
@@ -124,15 +149,31 @@ class GraphService:
         max_graphs: int = 4,
         config=None,
         machine_factory=None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        default_deadline_ms: Optional[float] = None,
+        flush_retries: int = 2,
+        clock: Optional[HostClock] = None,
     ) -> None:
         self.host = host
         self._requested_port = port
         self.capacity = capacity
+        # Host time (deadlines, breaker cooldowns, queue-wait stamps) flows
+        # through one injectable clock so fault/chaos tests can drive it.
+        self.clock = clock if clock is not None else HOST_CLOCK
+        self.default_deadline_ms = default_deadline_ms
+        self.flush_retries = flush_retries
         self.registry = ArtifactRegistry(
             engine=engine,
             config=config,
             machine_factory=machine_factory,
             max_graphs=max_graphs,
+            fault_plan=fault_plan,
+            retry=retry,
+            breaker_policy=breaker_policy,
+            clock=self.clock,
+            on_transition=self._on_breaker_transition,
         )
         self._warmup_specs = tuple(warmup)
         self._controllers: Dict[str, AdmissionController] = {}
@@ -224,6 +265,12 @@ class GraphService:
             staging = CounterRegistry.from_report(entry.staged.staging_report)
             staging.inc("serve_graphs_registered_total", 1.0, graph=name)
             self._merge_metrics(staging)
+        with self._metrics_lock:
+            self._registry_metrics.set(
+                "breaker_state",
+                float(entry.health.state_code()),
+                graph=name,
+            )
         return entry
 
     def controller(self, entry: GraphEntry) -> AdmissionController:
@@ -235,6 +282,9 @@ class GraphService:
                     entry,
                     capacity=self.capacity,
                     metrics_sink=self._merge_metrics,
+                    clock=self.clock,
+                    default_deadline_ms=self.default_deadline_ms,
+                    flush_retries=self.flush_retries,
                 )
                 self._controllers[entry.name] = controller
             return controller
@@ -256,6 +306,29 @@ class GraphService:
                 self.timeseries.record_flush(
                     labels.get("graph", "?"), flushes=0, queries=int(value)
                 )
+
+    def _on_breaker_transition(
+        self, name: str, frm: str, to: str, reason: str
+    ) -> None:
+        """Breaker sink: keep the gauge + transition counter in lockstep.
+
+        ``breaker_state`` is a *gauge* (set, never merged — merging adds)
+        while ``breaker_transitions_total`` is an ordinary counter; both
+        live directly on the long-lived service registry.
+        """
+        with self._metrics_lock:
+            self._registry_metrics.inc(
+                "breaker_transitions_total", 1.0,
+                graph=name, **{"from": frm, "to": to},
+            )
+            self._registry_metrics.set(
+                "breaker_state", float(STATE_CODES[to]), graph=name
+            )
+
+    def count_disconnect(self, path: str, request_id: str) -> None:
+        """A client hung up mid-response: count it, no stack trace."""
+        with self._metrics_lock:
+            self._registry_metrics.inc("client_disconnect_total", 1.0)
 
     def metrics_snapshot(self) -> CounterRegistry:
         """Copy of the service registry (safe to export/reconcile)."""
@@ -365,12 +438,31 @@ class GraphService:
         BFSAlgorithm().validate_roots(entry.graph.num_vertices, roots_list)
         return root_entry
 
+    def _extract_deadline(self, payload: Dict) -> Optional[float]:
+        """Pull an optional per-request ``deadline_ms`` out of a payload."""
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            raise _RequestProblem(
+                400, "bad_request",
+                "\"deadline_ms\" must be a number > 0 (milliseconds)",
+            )
+        return float(deadline_ms)
+
     def _handle_bfs(
         self, entry: GraphEntry, payload: Dict, request_id: str
     ) -> Tuple[Dict, Dict[str, str]]:
         root_entry = self._extract_roots(entry, payload)
+        deadline_ms = self._extract_deadline(payload)
         controller = self.controller(entry)
-        ticket = controller.submit(request_id, root_entry)
+        ticket = controller.submit(
+            request_id, root_entry, deadline_ms=deadline_ms
+        )
         result = ticket.result
         report = ticket.report
         body = {
@@ -382,7 +474,11 @@ class GraphService:
             "flush": {
                 "id": ticket.flush_id,
                 "size": ticket.flush_size,
-                "mode": "batched",
+                "mode": (
+                    "batched"
+                    if ticket.report_id == ticket.flush_id
+                    else "serial_fallback"
+                ),
             },
             "result": {
                 "levels": result.levels.tolist(),
@@ -391,7 +487,7 @@ class GraphService:
                 "edges_scanned": int(result.edges_scanned),
             },
             "report": report.to_dict(),
-            "report_id": ticket.flush_id,
+            "report_id": ticket.report_id,
             "timing": {
                 "queue_wait_seconds": ticket.queue_wait,
                 "sim_execution_seconds": report.execution_time,
@@ -458,28 +554,46 @@ class GraphService:
             engine = type(entry.engine)(
                 entry.engine.config.with_(max_iterations=rounds)
             )
+        entry.health.admit()
         with entry.lock:
+            injector = entry.machine.fault_injector
+            fault_base = (
+                injector.counts_snapshot() if injector is not None else None
+            )
             tracer = Tracer()
             entry.machine.attach_tracer(tracer)
-            tracer.bind_host_clock(HOST_CLOCK)
-            batch = run_staged_queries(
-                engine,
-                entry.staged,
-                entry.checkpoint,
-                [root_entry],
-                algorithm=algo,
-                mode="serial",
-                span_attrs={
-                    "flush_id": request_id,
-                    "request_ids": [request_id],
-                },
-            )
+            tracer.bind_host_clock(self.clock)
+            try:
+                batch = run_staged_queries(
+                    engine,
+                    entry.staged,
+                    entry.checkpoint,
+                    [root_entry],
+                    algorithm=algo,
+                    mode="serial",
+                    span_attrs={
+                        "flush_id": request_id,
+                        "request_ids": [request_id],
+                    },
+                    max_recoveries=DEFAULT_MAX_RECOVERIES,
+                )
+            except (CrashError, IOFaultError) as exc:
+                entry.health.record_flush_failure(type(exc).__name__)
+                raise FlushFailedError(
+                    f"serial {kind} query {request_id} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    retry_after=entry.health.retry_after(),
+                ) from exc
+            entry.health.record_flush_success()
             result = batch.queries[0]
             registry = CounterRegistry.from_report(result.report)
             registry.ingest_result(result)
             registry.ingest_spans(tracer)
             registry.inc("serve_serial_queries_total", 1.0,
                          graph=entry.name, algorithm=kind)
+            if fault_base is not None:
+                for cname, labels, value in injector.delta_samples(fault_base):
+                    registry.inc(cname, value, graph=entry.name, **labels)
             entry.queries_served += 1
         self._merge_metrics(registry)
         report = result.report
@@ -537,9 +651,21 @@ class GraphService:
     # non-query endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> Dict:
+        """Liveness + per-graph readiness (`"tiny" in body["graphs"]` holds).
+
+        ``graphs`` maps each registered name to its breaker state and
+        readiness — quarantined graphs are registered but not ready.
+        """
+        graphs = {
+            name: {
+                "state": entry.health.state,
+                "ready": entry.health.ready,
+            }
+            for name, entry in sorted(self.registry.entries().items())
+        }
         return {
             "status": "draining" if self._draining else "ok",
-            "graphs": sorted(self.registry.names()),
+            "graphs": graphs,
             "requests_served": self.requests_served,
         }
 
@@ -574,6 +700,20 @@ class GraphService:
 
     def debug_timeseries(self, windows: Optional[int] = None) -> Dict:
         return self.timeseries.snapshot(windows=windows)
+
+    def debug_health(self) -> Dict:
+        """Full breaker snapshots incl. transition logs, per graph.
+
+        The chaos harness replays a fault schedule twice and asserts the
+        ``(from, to, reason)`` transition sequences here are identical —
+        health evolution is deterministic per seed.
+        """
+        return {
+            "graphs": {
+                name: entry.health.snapshot()
+                for name, entry in sorted(self.registry.entries().items())
+            }
+        }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -614,6 +754,10 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
                 self._send_json(
                     200, self.service.stats(parts[1]), request_id
+                )
+            elif parts == ["debug", "health"]:
+                self._send_json(
+                    200, self.service.debug_health(), request_id
                 )
             elif parts == ["debug", "requests"]:
                 self._send_json(
@@ -706,23 +850,32 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         data = json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", JSON_CONTENT_TYPE)
-        self.send_header("Content-Length", str(len(data)))
-        self.send_header("X-Request-Id", request_id)
-        for key, value in (headers or {}).items():
-            self.send_header(key, value)
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", JSON_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(data)))
+            self.send_header("X-Request-Id", request_id)
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response.  The work is already done
+            # and accounted; swallow the write failure (re-raising would
+            # just stack-trace in the handler thread) and count it.
+            self.service.count_disconnect(self.path, request_id)
 
     def _send_text(self, status: int, text: str, request_id: str) -> None:
         data = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
-        self.send_header("Content-Length", str(len(data)))
-        self.send_header("X-Request-Id", request_id)
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(data)))
+            self.send_header("X-Request-Id", request_id)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            self.service.count_disconnect(self.path, request_id)
 
     def _send_problem(self, problem: _RequestProblem, request_id: str) -> None:
         graph = None
@@ -731,8 +884,10 @@ class _Handler(BaseHTTPRequestHandler):
             graph = parts[1]
         algorithm = parts[2] if len(parts) == 3 else None
         if graph is not None and algorithm in QUERY_ALGORITHMS:
+            # Deadline problems carry the expired ticket's queue wait so
+            # 504s stay visible in the wait histograms and time-series.
             self.service._count_request(
-                graph, algorithm, problem.status, None
+                graph, algorithm, problem.status, problem.queue_wait
             )
             # Failed query requests land in the debug ring too — a 429
             # burst should be explainable after the fact by id.
@@ -742,6 +897,11 @@ class _Handler(BaseHTTPRequestHandler):
                     graph=graph,
                     algorithm=algorithm,
                     status=problem.status,
+                    timing=(
+                        {"queue_wait_seconds": problem.queue_wait}
+                        if problem.queue_wait is not None
+                        else None
+                    ),
                     error={"type": problem.kind, "message": problem.message},
                 )
             )

@@ -1,0 +1,288 @@
+"""Per-graph health: a circuit breaker over consecutive flush failures.
+
+Serving a graph whose simulated devices misbehave has three useful
+regimes, and the breaker makes them explicit states on the
+:class:`~repro.serve.registry.GraphEntry`:
+
+``healthy``
+    Batched flushes are completing; full MS-BFS amortization.
+``degraded``
+    Recent flushes needed the serial fallback (or exhausted their batched
+    retries): responses still flow but the shared-scan amortization is
+    lost, and the state says so before latency graphs do.
+``quarantined``
+    ``quarantine_after`` consecutive flush failures opened the breaker:
+    requests are rejected at admission (HTTP 503 + ``Retry-After``)
+    **without touching the machine**, for a deterministic cooldown on the
+    host clock.
+``probing``
+    Half-open probation: the cooldown elapsed, one flush is admitted as a
+    probe.  Success closes the breaker (``healthy``); failure re-opens it
+    with the next, exponentially longer cooldown
+    (:func:`~repro.utils.backoff.exponential_backoff` — the same curve as
+    the I/O retry schedule).
+
+Determinism: transitions depend only on the sequence of flush
+success/failure events plus the injected
+:class:`~repro.obs.hostprof.HostClock` readings — same fault plan, same
+request sequence, same transition log.  Tests drive a
+:class:`~repro.obs.hostprof.ManualHostClock`; the transition log (the
+``/debug/health`` endpoint) records ``(at, from, to, reason)`` with
+deterministic reason strings.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError, GraphQuarantinedError
+from repro.obs.hostprof import HOST_CLOCK, HostClock
+from repro.utils.backoff import exponential_backoff
+
+#: The breaker's states, as reported by ``/healthz`` and ``/graphs/*/stats``.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+PROBING = "probing"
+
+#: Stable numeric encoding for the ``breaker_state`` gauge.
+STATE_CODES: Dict[str, int] = {
+    HEALTHY: 0,
+    DEGRADED: 1,
+    PROBING: 2,
+    QUARANTINED: 3,
+}
+
+#: A graph is ready (``/healthz`` readiness) unless the breaker is open.
+READY_STATES = frozenset({HEALTHY, DEGRADED, PROBING})
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs for one graph's circuit breaker.
+
+    ``degrade_after`` / ``quarantine_after`` count *consecutive* flush
+    failures; the quarantine cooldown is
+    ``cooldown_base * cooldown_multiplier ** (quarantines - 1)`` host
+    seconds — deterministic, no jitter.
+    """
+
+    degrade_after: int = 1
+    quarantine_after: int = 3
+    cooldown_base: float = 1.0
+    cooldown_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.degrade_after < 1:
+            raise ConfigError(
+                f"degrade_after must be >= 1, got {self.degrade_after}"
+            )
+        if self.quarantine_after < self.degrade_after:
+            raise ConfigError(
+                f"quarantine_after ({self.quarantine_after}) must be >= "
+                f"degrade_after ({self.degrade_after})"
+            )
+        if self.cooldown_base <= 0:
+            raise ConfigError(
+                f"cooldown_base must be > 0, got {self.cooldown_base}"
+            )
+        if self.cooldown_multiplier < 1.0:
+            raise ConfigError(
+                f"cooldown_multiplier must be >= 1, "
+                f"got {self.cooldown_multiplier}"
+            )
+
+
+class CircuitBreaker:
+    """The health state machine for one registered graph.
+
+    Thread-safe; every mutation happens under one mutex.  The admission
+    layer reports exactly one success or failure event per flush
+    (:meth:`record_flush_success` / :meth:`record_flush_failure`) and
+    gates new requests through :meth:`admit`.  ``on_transition`` (if set)
+    is called for every state change — the service wires it to the
+    ``breaker_state`` gauge and ``breaker_transitions_total`` counter.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        policy: Optional[BreakerPolicy] = None,
+        clock: Optional[HostClock] = None,
+        on_transition: Optional[Callable[[str, str, str, str], None]] = None,
+    ) -> None:
+        self.name = name
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.clock = clock if clock is not None else HOST_CLOCK
+        self.on_transition = on_transition
+        self._mutex = threading.Lock()
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.failures_total = 0
+        self.successes_total = 0
+        #: Lifetime quarantine count — drives the exponential cooldown.
+        self.quarantines = 0
+        self.reopen_at: Optional[float] = None
+        #: Append-only transition log: {"at", "from", "to", "reason"}.
+        self.transitions: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # event intake (one call per flush, from the admission controller)
+    # ------------------------------------------------------------------
+    def admit(self) -> None:
+        """Gate one request at admission; raise while quarantined.
+
+        An elapsed cooldown flips the breaker to ``probing`` (half-open)
+        so the next flush runs as the probe; an active cooldown raises
+        :class:`~repro.errors.GraphQuarantinedError` carrying the exact
+        remaining ``Retry-After`` — the graph's machine is never touched.
+        """
+        with self._mutex:
+            self._maybe_reopen()
+            if self.state != QUARANTINED:
+                return
+            remaining = max(0.0, (self.reopen_at or 0.0) - self.clock.now())
+            raise GraphQuarantinedError(
+                f"graph {self.name!r} is quarantined "
+                f"({self.consecutive_failures} consecutive flush "
+                f"failure(s)); probation in {remaining:.3f}s",
+                retry_after=remaining,
+            )
+
+    def allow_flush(self) -> bool:
+        """Whether already-queued tickets may execute a flush now.
+
+        Same reopen logic as :meth:`admit`, without raising — the flush
+        path fails its drained tickets with typed quarantine errors when
+        this returns False.
+        """
+        with self._mutex:
+            self._maybe_reopen()
+            return self.state != QUARANTINED
+
+    def record_flush_success(self) -> None:
+        """One flush completed in batched mode: close toward healthy."""
+        with self._mutex:
+            self.successes_total += 1
+            self.consecutive_failures = 0
+            if self.state in (DEGRADED, PROBING):
+                self._transition(HEALTHY, "batched flush succeeded")
+
+    def record_flush_failure(self, reason: str = "") -> None:
+        """One flush exhausted its batched retries (fallback or failure)."""
+        with self._mutex:
+            self.failures_total += 1
+            self.consecutive_failures += 1
+            why = f": {reason}" if reason else ""
+            if self.state == PROBING:
+                self._quarantine(f"probe flush failed{why}")
+            elif self.consecutive_failures >= self.policy.quarantine_after:
+                self._quarantine(
+                    f"{self.consecutive_failures} consecutive flush "
+                    f"failures{why}"
+                )
+            elif (
+                self.state == HEALTHY
+                and self.consecutive_failures >= self.policy.degrade_after
+            ):
+                self._transition(
+                    DEGRADED,
+                    f"{self.consecutive_failures} consecutive flush "
+                    f"failure(s){why}",
+                )
+
+    # ------------------------------------------------------------------
+    # internals (mutex held)
+    # ------------------------------------------------------------------
+    def _maybe_reopen(self) -> None:
+        if (
+            self.state == QUARANTINED
+            and self.reopen_at is not None
+            and self.clock.now() >= self.reopen_at
+        ):
+            self.reopen_at = None
+            self._transition(
+                PROBING, "cooldown elapsed; admitting one probe flush"
+            )
+
+    def _quarantine(self, reason: str) -> None:
+        self.quarantines += 1
+        cooldown = self.cooldown_seconds()
+        self.reopen_at = self.clock.now() + cooldown
+        self._transition(QUARANTINED, f"{reason}; cooldown {cooldown:g}s")
+
+    def _transition(self, to: str, reason: str) -> None:
+        frm = self.state
+        self.transitions.append(
+            {"at": self.clock.now(), "from": frm, "to": to, "reason": reason}
+        )
+        self.state = to
+        if self.on_transition is not None:
+            self.on_transition(self.name, frm, to, reason)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cooldown_seconds(self) -> float:
+        """The (next) quarantine cooldown — exponential in quarantine count."""
+        return exponential_backoff(
+            self.policy.cooldown_base,
+            self.policy.cooldown_multiplier,
+            max(1, self.quarantines),
+        )
+
+    def retry_after(self) -> float:
+        """Suggested client backoff: remaining cooldown, else one flush."""
+        with self._mutex:
+            if self.state == QUARANTINED and self.reopen_at is not None:
+                return max(0.0, self.reopen_at - self.clock.now())
+            return 1.0
+
+    @property
+    def ready(self) -> bool:
+        with self._mutex:
+            return self.state in READY_STATES
+
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def snapshot(self, include_transitions: bool = True) -> Dict[str, object]:
+        """JSON-safe view for ``/graphs/{name}/stats`` and ``/debug/health``."""
+        with self._mutex:
+            out: Dict[str, object] = {
+                "state": self.state,
+                "ready": self.state in READY_STATES,
+                "consecutive_failures": self.consecutive_failures,
+                "failures_total": self.failures_total,
+                "successes_total": self.successes_total,
+                "quarantines": self.quarantines,
+                "cooldown_seconds": self.cooldown_seconds(),
+                "reopen_in_seconds": (
+                    max(0.0, self.reopen_at - self.clock.now())
+                    if self.reopen_at is not None
+                    else None
+                ),
+            }
+            if include_transitions:
+                out["transitions"] = [dict(t) for t in self.transitions]
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"failures={self.consecutive_failures})"
+        )
+
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DEGRADED",
+    "HEALTHY",
+    "PROBING",
+    "QUARANTINED",
+    "READY_STATES",
+    "STATE_CODES",
+]

@@ -14,6 +14,15 @@ Registry capacity is bounded (``max_graphs``); registering beyond it
 evicts the least-recently-used entry, dropping its machine and artifact.
 Boot-time warmup takes a list of graph specs (see :func:`parse_graph_spec`)
 so a server starts with its working set already staged.
+
+Faults reach the server here: a registry-wide (or per-registration)
+:class:`~repro.storage.faults.FaultPlan` is attached to each entry's
+machine **after** staging and **before** the post-staging checkpoint, so
+the artifact is built clean but every query replay runs on faulty
+simulated devices; a :class:`~repro.storage.faults.RetryPolicy` rebuilds
+the engine with I/O-level retries.  Each entry also carries its own
+:class:`~repro.serve.health.CircuitBreaker` — the per-graph
+healthy/degraded/quarantined state machine the admission layer drives.
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ from repro.graph.generators import (
     star_graph,
 )
 from repro.graph.graph import Graph
+from repro.obs.hostprof import HostClock
+from repro.serve.health import BreakerPolicy, CircuitBreaker
+from repro.storage.faults import FaultPlan, RetryPolicy
 from repro.storage.machine import Machine
 
 #: Engines the registry will stage.  GraphChi's PSW shards do not share
@@ -131,6 +143,8 @@ class GraphEntry:
         machine: Machine,
         staged: StagedGraph,
         checkpoint,
+        fault_plan: Optional[FaultPlan] = None,
+        health: Optional[CircuitBreaker] = None,
     ) -> None:
         self.name = name
         self.graph = graph
@@ -138,6 +152,8 @@ class GraphEntry:
         self.machine = machine
         self.staged = staged
         self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+        self.health = health if health is not None else CircuitBreaker(name)
         self.lock = threading.RLock()
         #: Monotonic serving counters, maintained by the admission layer.
         self.queries_served = 0
@@ -163,6 +179,12 @@ class GraphEntry:
             ),
             "queries_served": int(self.queries_served),
             "flushes": int(self.flushes),
+            "fault_plan": (
+                {"specs": len(self.fault_plan.specs), "seed": self.fault_plan.seed}
+                if self.fault_plan is not None
+                else None
+            ),
+            "health": self.health.snapshot(include_transitions=False),
         }
 
 
@@ -175,6 +197,11 @@ class ArtifactRegistry:
         config=None,
         machine_factory: Optional[Callable[[], Machine]] = None,
         max_graphs: int = 4,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        clock: Optional[HostClock] = None,
+        on_transition: Optional[Callable[[str, str, str, str], None]] = None,
     ) -> None:
         from repro.api import make_engine
 
@@ -190,23 +217,61 @@ class ArtifactRegistry:
         self._make_engine = lambda: make_engine(engine, config)
         self._machine_factory = machine_factory or Machine.commodity_server
         self.max_graphs = max_graphs
+        #: Defaults for every registration; per-call arguments override.
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.breaker_policy = breaker_policy
+        self.clock = clock
+        self.on_transition = on_transition
         self._entries: "OrderedDict[str, GraphEntry]" = OrderedDict()
         self._lock = threading.Lock()
         #: Names evicted over the registry's lifetime (observability).
         self.evictions: List[str] = []
 
-    def register(self, name: str, graph: Graph) -> GraphEntry:
+    def register(
+        self,
+        name: str,
+        graph: Graph,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> GraphEntry:
         """Stage ``graph`` under ``name``; evict LRU beyond capacity.
 
         Staging happens outside the registry lock (it is the slow part);
         if two racers register the same name the later result wins.
         Re-registering an existing name replaces its entry.
+
+        ``fault_plan`` / ``retry`` override the registry-wide defaults for
+        this entry.  Staging always runs on clean devices; the plan is
+        attached after staging and before the post-staging
+        :meth:`~repro.storage.machine.Machine.checkpoint`, so the
+        checkpoint captures the injector's initial schedule state and
+        every rewind-and-replay query faces the same fault timeline.
         """
+        fault_plan = fault_plan if fault_plan is not None else self.fault_plan
+        retry = retry if retry is not None else self.retry
         engine = self._make_engine()
+        if retry is not None:
+            engine = type(engine)(engine.config.with_(retry=retry))
         machine = self._machine_factory()
         staged = engine.stage(graph, machine)
+        machine.attach_fault_plan(fault_plan)
         checkpoint = machine.checkpoint()
-        entry = GraphEntry(name, graph, engine, machine, staged, checkpoint)
+        entry = GraphEntry(
+            name,
+            graph,
+            engine,
+            machine,
+            staged,
+            checkpoint,
+            fault_plan=fault_plan,
+            health=CircuitBreaker(
+                name,
+                policy=self.breaker_policy,
+                clock=self.clock,
+                on_transition=self.on_transition,
+            ),
+        )
         with self._lock:
             self._entries.pop(name, None)
             self._entries[name] = entry
@@ -230,6 +295,15 @@ class ArtifactRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return list(self._entries)
+
+    def entries(self) -> Dict[str, GraphEntry]:
+        """Snapshot of every entry WITHOUT touching LRU order.
+
+        Health/readiness polling (``/healthz``, ``/debug/health``) must
+        not count as "use" or a dashboard would pin dead graphs in cache.
+        """
+        with self._lock:
+            return dict(self._entries)
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

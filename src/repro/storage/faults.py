@@ -61,6 +61,7 @@ from repro.errors import (
 )
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.timeline import ScheduledRequest, Timeline
+from repro.utils.backoff import exponential_backoff
 from repro.utils.rng import rng_from_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -204,7 +205,9 @@ class RetryPolicy:
 
     def backoff(self, retry_number: int) -> float:
         """Seconds to wait before retry ``retry_number`` (1-based)."""
-        return self.backoff_base * self.backoff_multiplier ** (retry_number - 1)
+        return exponential_backoff(
+            self.backoff_base, self.backoff_multiplier, retry_number
+        )
 
 
 @dataclass
@@ -342,6 +345,33 @@ class FaultInjector:
     def total(self, name: str) -> int:
         """Lifetime count of one event class summed over devices."""
         return sum(v for (n, _), v in self._counts.items() if n == name)
+
+    def counts_snapshot(self) -> Dict[Tuple[str, str], int]:
+        """Copy of the lifetime counters, for windowed delta sampling.
+
+        The serving layer takes one snapshot per admission flush and
+        merges only the *delta* into the ``/metrics`` registry via
+        :meth:`delta_samples` — lifetime totals merged repeatedly would
+        double-count.
+        """
+        return dict(self._counts)
+
+    def delta_samples(
+        self, base: Dict[Tuple[str, str], int]
+    ) -> Iterator[Tuple[str, Dict[str, str], float]]:
+        """Yield counters grown since ``base`` (a :meth:`counts_snapshot`).
+
+        Same ``(name_total, labels, value)`` shape as
+        :meth:`counter_samples`, restricted to nonzero growth.  Because
+        lifetime counters are never rewound, a flush window's delta also
+        covers faults fired by executions that were later rolled back.
+        """
+        for (name, device_name), count in sorted(self._counts.items()):
+            grown = count - base.get((name, device_name), 0)
+            if grown <= 0:
+                continue
+            labels = {} if device_name == "-" else {"device": device_name}
+            yield f"{name}_total", labels, float(grown)
 
     @property
     def faults_injected(self) -> int:

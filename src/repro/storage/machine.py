@@ -415,6 +415,28 @@ class Machine:
 
         return CounterRegistry.from_machine(self)
 
+    def attach_fault_plan(self, fault_plan) -> "Machine":
+        """Install a fault schedule on a machine built without one.
+
+        The serving registry's hook: graphs are staged on a *clean*
+        machine (staging must stay deterministic and fault-free), then the
+        plan is attached just before the post-staging checkpoint is taken
+        — so every query replays under the schedule and the checkpoint
+        carries the injector's initial state.  Call only at a quiescent
+        point, before any checkpoint that should observe the injector;
+        re-attaching replaces the previous injector wholesale.
+        """
+        if fault_plan is None:
+            return self
+        from repro.storage.faults import FaultInjector
+
+        self.fault_plan = fault_plan
+        self.fault_injector = FaultInjector(fault_plan, clock=self.clock)
+        self.fault_injector.tracer = self.tracer
+        for dev in self.disks:
+            dev.injector = self.fault_injector
+        return self
+
     # ------------------------------------------------------------------
     # checkpoint / restore (the query-session protocol)
     # ------------------------------------------------------------------

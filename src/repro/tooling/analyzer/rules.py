@@ -39,6 +39,15 @@ FB206  snapshot-completeness
     instance attribute: an attribute assigned outside ``__init__`` that
     the snapshot/restore pair never references is state that silently
     escapes the rewind protocol.
+FB208  serve-typed-errors
+    Every ``except`` handler in the serving subsystem (``repro/serve/``)
+    must surface a *typed* failure: re-raise, construct a
+    ``...Error`` (the :class:`~repro.errors.ServeError` family), or call
+    one of the sanctioned error funnels (``_problem_for`` /
+    ``_send_problem`` / ``count_disconnect``).  A bare ``except: pass``
+    (or log-and-return) in the serving path silently drops a client's
+    request — the resilience contract is that every failure a client
+    sees is a typed, machine-readable error.
 FB207  wallclock-choke-point
     No direct wall-clock read (``time.time``/``perf_counter``/
     ``monotonic``/..., ``datetime.now``) outside ``repro/obs/hostprof.py``
@@ -79,6 +88,7 @@ RULES: Dict[str, str] = {
     "FB205": "order-sensitive iteration (set / unsorted listdir-glob)",
     "FB206": "mutable attribute not covered by the snapshot/restore protocol",
     "FB207": "direct wall-clock read outside repro.obs.hostprof",
+    "FB208": "serve-layer except handler swallows the failure untyped",
 }
 
 #: Method names that mutate a container in place (FB206 mutation scan).
@@ -151,6 +161,7 @@ def run_all_rules(project: Project) -> List[Finding]:
     findings.extend(check_order_sensitivity(project))
     findings.extend(check_snapshot_completeness(project))
     findings.extend(check_wallclock_choke_point(project))
+    findings.extend(check_serve_typed_errors(project))
     return findings
 
 
@@ -626,6 +637,91 @@ def check_wallclock_choke_point(project: Project) -> List[Finding]:
             )
         )
     return findings
+
+
+# ----------------------------------------------------------------------
+# FB208
+# ----------------------------------------------------------------------
+
+#: Calls that funnel a caught exception into the typed-error response
+#: path of :mod:`repro.serve.app` (and so satisfy FB208 on their own).
+_SERVE_ERROR_FUNNELS = frozenset(
+    {"_problem_for", "_send_problem", "count_disconnect"}
+)
+
+
+def check_serve_typed_errors(project: Project) -> List[Finding]:
+    """Every serve-layer ``except`` must raise/build a typed error.
+
+    The handler body must contain at least one of: a ``raise`` (typed
+    construction or bare re-raise), a call to a ``...Error`` class (the
+    typed error is being built for a later raise/ticket assignment), or
+    a call to one of :data:`_SERVE_ERROR_FUNNELS`.
+    """
+    findings = []
+    for module_name in sorted(project.table.modules):
+        if subsystem_of(module_name) != "serve":
+            continue
+        module = project.table.modules[module_name]
+        visitor = _ServeExceptVisitor(module.path)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings
+
+
+class _ServeExceptVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self._function: Optional[str] = None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        outer, self._function = self._function, node.name
+        self.generic_visit(node)
+        self._function = outer
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if not self._handler_is_typed(node):
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "Exception"
+            )
+            self.findings.append(
+                Finding(
+                    path=self.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code="FB208",
+                    symbol=self._function,
+                    message=(
+                        f"except {caught}: handler neither raises, builds "
+                        "a typed ...Error, nor calls an error funnel "
+                        f"({'/'.join(sorted(_SERVE_ERROR_FUNNELS))}) — a "
+                        "serve-layer failure must surface as a typed error, "
+                        "never be swallowed"
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _handler_is_typed(node: ast.ExceptHandler) -> bool:
+        for child in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+            if isinstance(child, ast.Raise):
+                return True
+            if isinstance(child, ast.Call):
+                func = child.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name is not None and (
+                    name in _SERVE_ERROR_FUNNELS or name.endswith("Error")
+                ):
+                    return True
+        return False
 
 
 def _short(chain: List[str]) -> List[str]:

@@ -38,6 +38,19 @@ Every trial also cross-checks the trace against the counter registry:
 Run it from the CLI (``repro chaos --profile smoke``; nonzero exit on
 violation — the CI ``chaos-smoke`` job does exactly this) or call
 :func:`run_chaos` directly.
+
+The ``serve`` profile points the same seeded-fault machinery at a live
+:class:`~repro.serve.app.GraphService`: each trial boots the real HTTP
+server on a fault-injected registry (one of the named
+:data:`SERVE_FAULT_PROFILES` plans — the same plans ``repro serve
+--fault-profile`` installs), replays a deterministic request sequence
+twice to prove health-state transitions are a pure function of the seed,
+fires a 16-way concurrent burst asserting no response is lost or
+duplicated and every failure is a typed error, drives an expired-deadline
+sweep, and finally reconciles ``/metrics`` exactly — device bytes against
+the deduped per-flush reports, and ``fault_*`` / ``flush_retry_total`` /
+``breaker_state`` / ``deadline_exceeded_total`` against the injector and
+breaker ground truth.
 """
 
 from __future__ import annotations
@@ -110,11 +123,31 @@ class ChaosProfile:
 
 
 #: The registered profiles.  ``smoke`` is the CI gate (fast, fixed seed);
-#: ``full`` is the acceptance sweep (>= 50 seeded schedules).
+#: ``full`` is the acceptance sweep (>= 50 seeded schedules); ``serve``
+#: points the harness at a live :class:`~repro.serve.app.GraphService`.
 PROFILES: Dict[str, ChaosProfile] = {
     "smoke": ChaosProfile("smoke", trials=12),
     "full": ChaosProfile("full", trials=56),
+    "serve": ChaosProfile("serve", trials=6, scale=9),
 }
+
+#: Named fault-plan shapes for serving (``repro serve --fault-profile``
+#: and the ``serve`` chaos profile).  ``transient`` is absorbed by the
+#: retry loop, ``crashy`` exercises in-flush crash recovery, ``hostile``
+#: carries persistent media errors that degrade and quarantine graphs.
+SERVE_FAULT_PROFILES: Tuple[str, ...] = ("transient", "crashy", "hostile")
+
+#: Requests in the deterministic (phase A) serve-chaos sequence.
+SERVE_SEQUENCE = 12
+
+#: Concurrent clients in the serve-chaos burst phase.
+SERVE_BURST = 16
+
+#: Error kinds a resilient server is allowed to return for queries.
+SERVE_TYPED_ERRORS = frozenset({
+    "queue_full", "graph_quarantined", "flush_failed",
+    "deadline_exceeded", "shutting_down",
+})
 
 
 @dataclass
@@ -428,6 +461,8 @@ def run_chaos(
     count = trials if trials is not None else prof.trials
     if count < 1:
         raise ConfigError(f"chaos needs at least one trial, got {count}")
+    if prof.name == "serve":
+        return run_serve_chaos(seed=seed, trials=count, prof=prof)
     graph = rmat_graph(
         scale=prof.scale, edge_factor=prof.edge_factor, seed=prof.graph_seed
     )
@@ -449,6 +484,440 @@ def run_chaos(
     return ChaosReport(profile=prof.name, seed=seed, trials=records)
 
 
+# ----------------------------------------------------------------------
+# the "serve" profile: seeded faults against a live GraphService
+# ----------------------------------------------------------------------
+
+def serve_fault_plan(profile: str, seed: int = 0) -> FaultPlan:
+    """One named, seeded fault plan for a serving registry.
+
+    These are the plans ``repro serve --fault-profile`` installs and the
+    ``serve`` chaos profile sweeps.  The *shape* is fixed per name; the
+    probabilities/budgets are drawn from ``seed`` so every trial replays
+    its exact schedule.
+    """
+    if profile not in SERVE_FAULT_PROFILES:
+        raise ConfigError(
+            f"unknown serve fault profile {profile!r}; options: "
+            f"{sorted(SERVE_FAULT_PROFILES)}"
+        )
+    rng = rng_from_seed(seed)
+    specs: List[FaultSpec] = [
+        FaultSpec(
+            kind="transient_error",
+            probability=float(rng.uniform(0.005, 0.03)),
+        ),
+        FaultSpec(
+            kind="latency",
+            probability=float(rng.uniform(0.01, 0.04)),
+            delay_seconds=float(rng.uniform(0.002, 0.01)),
+        ),
+    ]
+    if profile == "crashy":
+        specs.append(
+            FaultSpec(
+                kind="torn_write",
+                role="stay",
+                probability=float(rng.uniform(0.2, 0.5)),
+                max_fires=int(rng.integers(1, 3)),
+            )
+        )
+        specs.append(
+            FaultSpec(
+                kind="crash",
+                role="vertices",
+                probability=float(rng.uniform(0.1, 0.3)),
+                max_fires=int(rng.integers(1, 3)),
+            )
+        )
+    elif profile == "hostile":
+        # No max_fires: the media stays broken, so flushes keep failing
+        # and the breaker must walk healthy -> degraded -> quarantined.
+        specs.append(
+            FaultSpec(
+                kind="persistent_error",
+                probability=float(rng.uniform(0.05, 0.15)),
+            )
+        )
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+def _serve_request(
+    port: int,
+    method: str,
+    path: str,
+    payload=None,
+    request_id: Optional[str] = None,
+    timeout: float = 120.0,
+):
+    """Minimal HTTP/JSON client for the chaos driver (stdlib only)."""
+    import json
+    from urllib.error import HTTPError
+    from urllib.request import Request, urlopen
+
+    headers = {"Content-Type": "application/json"}
+    if request_id is not None:
+        headers["X-Request-Id"] = request_id
+    body = json.dumps(payload).encode("utf-8") if payload is not None else None
+    req = Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body, headers=headers, method=method,
+    )
+    try:
+        with urlopen(req, timeout=timeout) as resp:
+            status = resp.status
+            resp_headers = dict(resp.headers)
+            raw = resp.read().decode("utf-8")
+    except HTTPError as exc:
+        # 4xx/5xx still carry the typed JSON problem body we assert on.
+        status = exc.code
+        resp_headers = dict(exc.headers)
+        raw = exc.read().decode("utf-8")
+    content_type = resp_headers.get("Content-Type", "")
+    data = json.loads(raw) if content_type.startswith("application/json") else raw
+    return status, resp_headers, data
+
+
+def _serve_service(profile: str, trial_seed: int, graph: Graph, clock):
+    """Boot one fault-injected GraphService over ``graph`` (as ``"g"``)."""
+    from repro.serve import GraphService
+
+    plan = serve_fault_plan(profile, trial_seed)
+    config = FastBFSConfig(
+        edge_buffer_bytes=2 * KB,
+        update_buffer_bytes=1 * KB,
+        stay_buffer_bytes=1 * KB,
+        num_partitions=4,
+        allow_in_memory=False,
+        rotate_streams=True,
+        retry=RetryPolicy(max_attempts=4),
+    )
+    service = GraphService(
+        port=0,
+        engine="fastbfs",
+        config=config,
+        machine_factory=lambda: Machine(
+            [DeviceSpec.hdd("hdd0"), DeviceSpec.hdd("hdd1")],
+            memory=2 * MB,
+            cores=4,
+        ),
+        fault_plan=plan,
+        clock=clock,
+    ).start()
+    service.register("g", graph)
+    return service
+
+
+def _serve_transitions(port: int) -> List[Tuple[str, str, str]]:
+    _, _, body = _serve_request(port, "GET", "/debug/health")
+    return [
+        (t["from"], t["to"], t["reason"])
+        for t in body["graphs"]["g"]["transitions"]
+    ]
+
+
+def _drive_sequence(service, clock, roots) -> Tuple[List[int], List[dict], str]:
+    """Phase A: a fixed single-threaded request sequence, clock-stepped.
+
+    Advancing the manual host clock between requests lets quarantine
+    cooldowns elapse mid-sequence, so hostile trials walk the full
+    healthy -> degraded -> quarantined -> probing cycle deterministically.
+    """
+    statuses: List[int] = []
+    ok_bodies: List[dict] = []
+    for i in range(SERVE_SEQUENCE):
+        status, _, body = _serve_request(
+            service.port, "POST", "/graphs/g/bfs",
+            payload={"root": roots[i % len(roots)]},
+            request_id=f"seq-{i:02d}",
+        )
+        statuses.append(status)
+        if status == 200:
+            ok_bodies.append(body)
+        elif status in (429, 503, 504):
+            kind = body.get("error", {}).get("type") if isinstance(body, dict) else None
+            if kind not in SERVE_TYPED_ERRORS:
+                return statuses, ok_bodies, (
+                    f"step {i}: untyped {status} error body {body!r}"
+                )
+        else:
+            return statuses, ok_bodies, f"step {i}: unexpected status {status}"
+        clock.advance(0.4)
+    return statuses, ok_bodies, ""
+
+
+def _drive_burst(service, roots, references) -> Tuple[List[dict], int, str]:
+    """Phase B: a concurrent burst; no response lost, duplicated or untyped."""
+    import threading
+
+    results: Dict[str, Tuple[int, Dict, object]] = {}
+    lock = threading.Lock()
+
+    def fire(i: int) -> None:
+        rid = f"burst-{i:02d}"
+        out = _serve_request(
+            service.port, "POST", "/graphs/g/bfs",
+            payload={"root": roots[i % len(roots)]},
+            request_id=rid,
+        )
+        with lock:
+            if rid in results:
+                results[rid + "-dup"] = out
+            else:
+                results[rid] = out
+
+    threads = [
+        threading.Thread(target=fire, args=(i,)) for i in range(SERVE_BURST)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if len(results) != SERVE_BURST:
+        return [], 0, (
+            f"burst lost/duplicated responses: {len(results)} outcomes "
+            f"for {SERVE_BURST} requests ({sorted(results)})"
+        )
+    ok_bodies: List[dict] = []
+    errors = 0
+    for i in range(SERVE_BURST):
+        rid = f"burst-{i:02d}"
+        status, _, body = results[rid]
+        if not isinstance(body, dict) or body.get("request_id") != rid:
+            return [], 0, f"{rid}: response id mismatch ({body!r})"
+        if status == 200:
+            levels = np.asarray(body["result"]["levels"])
+            if not np.array_equal(levels, references[i % len(references)]):
+                return [], 0, f"{rid}: levels diverge from reference"
+            ok_bodies.append(body)
+        elif status in (429, 503, 504):
+            errors += 1
+            if body.get("error", {}).get("type") not in SERVE_TYPED_ERRORS:
+                return [], 0, f"{rid}: untyped {status} error {body!r}"
+        else:
+            return [], 0, f"{rid}: unexpected status {status}"
+    return ok_bodies, errors, ""
+
+
+def _drive_deadlines(service, clock, roots) -> Tuple[int, str]:
+    """Phase C: queue requests behind a held controller, expire them all."""
+    import threading
+
+    entry = service.registry.get("g")
+    if not entry.health.ready:
+        return 0, ""  # quarantined trials cannot queue; sweep is elsewhere
+    controller = service.controller(entry)
+    controller.hold()
+    outcomes: Dict[str, Tuple[int, Dict, object]] = {}
+    count = 4
+
+    def fire(i: int) -> None:
+        rid = f"dl-{i:02d}"
+        outcomes[rid] = _serve_request(
+            service.port, "POST", "/graphs/g/bfs",
+            payload={"root": roots[0], "deadline_ms": 50.0},
+            request_id=rid,
+        )
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    waiter = threading.Event()
+    for _ in range(4000):
+        if controller.depth >= count:
+            break
+        waiter.wait(0.005)
+    clock.advance(0.2)  # 200ms > every 50ms deadline
+    controller.release()
+    for t in threads:
+        t.join()
+    if controller.depth != 0:
+        return 0, f"deadline sweep left queue depth {controller.depth}"
+    for rid in sorted(outcomes):
+        status, _, body = outcomes[rid]
+        if status != 504 or body.get("error", {}).get("type") != "deadline_exceeded":
+            return 0, f"{rid}: expected typed 504, got {status} {body!r}"
+    return count, ""
+
+
+def _reconcile_serve(service, ok_bodies: List[dict]) -> List[str]:
+    """The exact ``/metrics`` cross-check against live ground truth."""
+    from repro.obs.exporters import parse_prometheus
+    from repro.storage.machine import IOReport, merge_reports
+
+    problems: List[str] = []
+    entry = service.registry.get("g")
+    controller = service.controller(entry)
+    _, _, text = _serve_request(service.port, "GET", "/metrics")
+    registry = parse_prometheus(text)
+    # (1) device bytes/seeks reconcile with the deduped per-flush reports
+    # plus the (clean) staging report — bit for bit.
+    unique: Dict[str, dict] = {}
+    for body in ok_bodies:
+        unique[body["report_id"]] = body["report"]
+    merged = merge_reports(
+        [entry.staged.staging_report]
+        + [IOReport.from_dict(d) for d in unique.values()]
+    )
+    problems.extend(registry.reconcile(merged))
+    # (2) resilience counters match the admission controller's ledger.
+    ctr = controller.counters()
+    for name, want in (
+        ("flush_retry_total", ctr["flush_retries"]),
+        ("deadline_exceeded_total", ctr["deadline_expired"]),
+        ("serve_flush_serial_fallback_total", ctr["serial_fallbacks"]),
+    ):
+        got = registry.total(name)
+        if got != float(want):
+            problems.append(f"{name}: metrics {got:g} != controller {want}")
+    # (3) the breaker gauge and transition counter match the live breaker.
+    got = registry.total("breaker_state", graph="g")
+    if got != float(entry.health.state_code()):
+        problems.append(
+            f"breaker_state: metrics {got:g} != live {entry.health.state_code()}"
+        )
+    got = registry.total("breaker_transitions_total", graph="g")
+    if got != float(len(entry.health.transitions)):
+        problems.append(
+            f"breaker_transitions_total: metrics {got:g} != "
+            f"{len(entry.health.transitions)} logged transitions"
+        )
+    # (4) fault_* counters match the injector's lifetime counts exactly
+    # (staging ran clean, so every count is serve-time and was sampled
+    # into exactly one flush delta).
+    injector = entry.machine.fault_injector
+    if injector is None:
+        problems.append("serving machine has no fault injector")
+        return problems
+    for (cname, device), count in sorted(injector.counts_snapshot().items()):
+        if device == "-":
+            got = registry.total(f"{cname}_total", graph="g")
+        else:
+            got = registry.total(f"{cname}_total", graph="g", device=device)
+        if got != float(count):
+            problems.append(
+                f"{cname}_total[{device}]: metrics {got:g} != injector {count}"
+            )
+    return problems
+
+
+def _run_serve_trial(
+    index: int,
+    profile: str,
+    trial_seed: int,
+    graph: Graph,
+    roots: List[int],
+    references: List[np.ndarray],
+) -> ChaosTrial:
+    from repro.obs.hostprof import ManualHostClock
+
+    trial = ChaosTrial(
+        index=index, engine="fastbfs", disks=2, seed=trial_seed,
+        outcome="violation", mode=f"serve/{profile}",
+    )
+    clock = ManualHostClock()
+    service = _serve_service(profile, trial_seed, graph, clock)
+    try:
+        statuses, seq_bodies, problem = _drive_sequence(service, clock, roots)
+        transitions = _serve_transitions(service.port)
+        if problem:
+            trial.detail = problem
+            return trial
+        for body in seq_bodies:
+            root = body["root"]
+            ref = references[roots.index(root)]
+            if not np.array_equal(np.asarray(body["result"]["levels"]), ref):
+                trial.detail = f"sequence response {body['request_id']} diverges"
+                return trial
+        burst_bodies, burst_errors, problem = _drive_burst(
+            service, roots, references
+        )
+        if problem:
+            trial.detail = problem
+            return trial
+        expired, problem = _drive_deadlines(service, clock, roots)
+        if problem:
+            trial.detail = problem
+            return trial
+        problems = _reconcile_serve(service, seq_bodies + burst_bodies)
+        if problems:
+            trial.detail = "metrics reconcile: " + "; ".join(problems)
+            return trial
+        entry = service.registry.get("g")
+        injector = entry.machine.fault_injector
+        trial.faults_injected = injector.faults_injected
+        trial.retries = injector.total("io_retries")
+        trial.recoveries = injector.total("crash_recoveries")
+    finally:
+        service.shutdown(drain=True)
+    # Determinism: a fresh service + clock under the same seed must replay
+    # the identical status sequence AND health transition log.
+    clock2 = ManualHostClock()
+    replay = _serve_service(profile, trial_seed, graph, clock2)
+    try:
+        statuses2, _, problem = _drive_sequence(replay, clock2, roots)
+        transitions2 = _serve_transitions(replay.port)
+    finally:
+        replay.shutdown(drain=True)
+    if problem:
+        trial.detail = f"replay: {problem}"
+        return trial
+    if statuses2 != statuses:
+        trial.detail = (
+            f"status sequence not deterministic: {statuses} != {statuses2}"
+        )
+        return trial
+    if transitions2 != transitions:
+        trial.detail = (
+            f"health transitions not deterministic: "
+            f"{transitions} != {transitions2}"
+        )
+        return trial
+    typed = sum(1 for s in statuses if s != 200) + burst_errors + expired
+    if trial.recoveries:
+        trial.outcome = "recovered"
+    elif typed:
+        trial.outcome = "typed-error"
+        trial.detail = f"{typed} typed failure(s), all contracts held"
+    else:
+        trial.outcome = "ok"
+    return trial
+
+
+def run_serve_chaos(
+    seed: int = 0,
+    trials: Optional[int] = None,
+    prof: Optional[ChaosProfile] = None,
+) -> ChaosReport:
+    """Sweep seeded fault plans against live GraphService instances.
+
+    Cycles the :data:`SERVE_FAULT_PROFILES` shapes across ``trials``
+    seeded schedules.  Fully deterministic in ``(seed, trials)`` — each
+    trial *proves* it by replaying its request sequence on a fresh
+    service and requiring identical statuses and health transitions.
+    """
+    prof = prof if prof is not None else PROFILES["serve"]
+    count = trials if trials is not None else prof.trials
+    if count < 1:
+        raise ConfigError(f"chaos needs at least one trial, got {count}")
+    graph = rmat_graph(
+        scale=prof.scale, edge_factor=prof.edge_factor, seed=prof.graph_seed
+    )
+    order = np.argsort(-graph.out_degrees())
+    roots = [int(v) for v in order[:BATCH_QUERIES]]
+    references = [bfs_levels(graph, r) for r in roots]
+    records: List[ChaosTrial] = []
+    for index in range(count):
+        profile = SERVE_FAULT_PROFILES[index % len(SERVE_FAULT_PROFILES)]
+        trial_seed = seed * 1_000_003 + index
+        records.append(
+            _run_serve_trial(
+                index, profile, trial_seed, graph, roots, references
+            )
+        )
+    return ChaosReport(profile="serve", seed=seed, trials=records)
+
+
 __all__ = [
     "BATCH_QUERIES",
     "ChaosProfile",
@@ -457,5 +926,11 @@ __all__ = [
     "MAX_RECOVERIES",
     "PROFILES",
     "SCENARIOS",
+    "SERVE_BURST",
+    "SERVE_FAULT_PROFILES",
+    "SERVE_SEQUENCE",
+    "SERVE_TYPED_ERRORS",
     "run_chaos",
+    "run_serve_chaos",
+    "serve_fault_plan",
 ]

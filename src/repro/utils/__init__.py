@@ -9,10 +9,12 @@ from repro.utils.units import (
     format_seconds,
     parse_bytes,
 )
+from repro.utils.backoff import exponential_backoff
 from repro.utils.rng import rng_from_seed, spawn_rngs
 
 __all__ = [
     "KB",
+    "exponential_backoff",
     "MB",
     "GB",
     "TB",

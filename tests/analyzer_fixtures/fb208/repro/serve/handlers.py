@@ -1,0 +1,50 @@
+"""Positive + suppressed cases: serve-layer excepts must type failures."""
+
+
+class FlushFailedError(Exception):
+    pass
+
+
+def swallow_bad(sock):
+    try:
+        sock.send(b"x")
+    except OSError:
+        pass
+
+
+def log_and_return_bad(log, payload):
+    try:
+        return payload["root"]
+    except KeyError as exc:
+        log.append(str(exc))
+        return None
+
+
+def reraise_good():
+    try:
+        return 1
+    except ValueError:
+        raise
+
+
+def typed_construction_good(ticket):
+    try:
+        return 1
+    except OSError:
+        ticket.error = FlushFailedError("flush failed")
+        return None
+
+
+def funnel_good(self, request_id):
+    try:
+        return 1
+    except BrokenPipeError:
+        self.service.count_disconnect(self.path, request_id)
+        return None
+
+
+def suppressed(sock):
+    try:
+        sock.close()
+    except OSError:  # noqa: FB208
+        pass

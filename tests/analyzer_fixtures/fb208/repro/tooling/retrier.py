@@ -1,0 +1,11 @@
+"""Scoping case: the same swallow outside ``repro/serve/`` is not FB208."""
+
+
+def swallow_elsewhere(attempts):
+    best = None
+    for _ in range(attempts):
+        try:
+            best = 1
+        except ValueError:
+            continue
+    return best

@@ -108,7 +108,7 @@ class TestOutputFormats:
         }
         assert set(doc["rules"]) == {
             "FB200", "FB201", "FB202", "FB203", "FB204", "FB205", "FB206",
-            "FB207",
+            "FB207", "FB208",
         }
 
     def test_sarif_document_shape(self, isolated_cwd, capsys):
@@ -210,7 +210,7 @@ class TestBaselineFlow:
             baseline_path=str(REPO_ROOT / "analyzer_baseline.json"),
         )
         assert result.ok
-        assert len(result.baselined) == 3
+        assert len(result.baselined) == 4
 
 
 class TestSharedFindingType:

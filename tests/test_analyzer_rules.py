@@ -1,4 +1,4 @@
-"""Rule-level tests for the whole-program analyzer (FB200-FB207).
+"""Rule-level tests for the whole-program analyzer (FB200-FB208).
 
 Each FB2xx rule is exercised against a fixture mini-package under
 ``tests/analyzer_fixtures/`` shaped like the real tree, in three
@@ -11,7 +11,7 @@ un-checkpointed attribute.
 from pathlib import Path
 
 from repro.tooling.analyzer import analyze_paths, analyze_sources
-from repro.tooling.report import Baseline
+from repro.tooling.report import Baseline, BaselineEntry
 
 HERE = Path(__file__).resolve().parent
 FIXTURES = HERE / "analyzer_fixtures"
@@ -189,6 +189,52 @@ class TestFB207WallclockChokePoint:
         assert not any(f.code == "FB207" for f in result.findings)
 
 
+class TestFB208ServeTypedErrors:
+    def test_swallowing_handlers_flagged(self):
+        result = run_fixture("fb208")
+        assert codes(result) == ["FB208", "FB208"]
+        by_symbol = {f.symbol: f for f in result.findings}
+        assert set(by_symbol) == {"swallow_bad", "log_and_return_bad"}
+        assert by_symbol["swallow_bad"].line == 11
+        assert by_symbol["log_and_return_bad"].line == 18
+        assert "typed" in by_symbol["swallow_bad"].message
+        assert "except OSError" in by_symbol["swallow_bad"].message
+
+    def test_raise_typed_construction_and_funnel_are_clean(self):
+        result = run_fixture("fb208")
+        flagged = {f.symbol for f in result.findings}
+        assert "reraise_good" not in flagged
+        assert "typed_construction_good" not in flagged
+        assert "funnel_good" not in flagged
+
+    def test_noqa_on_except_line_suppresses(self):
+        result = run_fixture("fb208")
+        assert not any(f.symbol == "suppressed" for f in result.findings)
+
+    def test_scoped_to_the_serve_subsystem(self):
+        result = run_fixture("fb208")
+        assert not any("tooling" in f.path for f in result.findings)
+
+    def test_baseline_accepts_the_positive_findings(self):
+        clean = run_fixture("fb208")
+        baseline = Baseline(entries=[
+            BaselineEntry(
+                code=f.code, path=f.norm_path, symbol=f.symbol,
+                reason="fixture: intentionally grandfathered",
+            )
+            for f in clean.findings
+        ])
+        result = run_fixture("fb208", baseline=baseline)
+        assert result.findings == []
+        assert result.unused_baseline == []
+
+    def test_live_serve_tree_has_no_untyped_handlers(self):
+        """Acceptance: every except in the shipped ``repro/serve/`` tree
+        re-raises, builds a typed error, or funnels — no baseline."""
+        result = analyze_paths([str(REPO_ROOT / "src" / "repro")])
+        assert not any(f.code == "FB208" for f in result.findings)
+
+
 class TestMergedTree:
     def test_src_repro_is_clean_under_committed_baseline(self):
         """Acceptance gate: the shipped tree has zero non-baselined findings."""
@@ -205,5 +251,6 @@ class TestMergedTree:
             "repro.storage.faults.FaultInjector._fires",
             "repro.storage.faults.FaultInjector._counts",
             "repro.storage.machine.Machine.tracer",
+            "repro.storage.machine.Machine.fault_plan",
         }
         assert all(f.code == "FB206" for f in result.findings)

@@ -96,13 +96,17 @@ class TestEndpointSchemas:
         assert set(body) >= {
             "name", "graph", "engine", "partitions", "in_memory",
             "staging_report", "queries_served", "flushes", "admission",
+            "fault_plan", "health",
         }
         assert body["graph"]["num_vertices"] == 256
+        assert body["fault_plan"] is None  # no faults in this fixture
+        assert body["health"]["state"] == "healthy"
         report = IOReport.from_dict(body["staging_report"])
         assert report.bytes_total > 0
         assert set(body["admission"]) == {
             "queue_depth", "capacity", "accepted", "rejected",
-            "flushes", "held", "closed",
+            "flushes", "flush_retries", "serial_fallbacks",
+            "deadline_expired", "held", "closed",
         }
 
     def test_bfs_response_schema(self, service):

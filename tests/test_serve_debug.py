@@ -230,11 +230,12 @@ class TestStatsSchema:
         assert set(body) == {
             "name", "graph", "engine", "partitions", "in_memory",
             "staging_report", "queries_served", "flushes",
-            "admission", "latency",
+            "admission", "latency", "fault_plan", "health",
         }
         assert set(body["admission"]) == {
             "queue_depth", "capacity", "accepted", "rejected",
-            "flushes", "held", "closed",
+            "flushes", "flush_retries", "serial_fallbacks",
+            "deadline_expired", "held", "closed",
         }
         assert body["admission"]["queue_depth"] == 0  # idle right now
         assert body["admission"]["accepted"] >= 1

@@ -1,0 +1,388 @@
+"""Resilient-serving tests: faults, recovery, breaker, deadlines, drain.
+
+Boots real :class:`~repro.serve.app.GraphService` instances whose
+registered machines carry :class:`~repro.storage.faults.FaultPlan`s, and
+asserts the serving resilience contract end to end over HTTP:
+
+* success-after-retry responses are bit-identical to fault-free runs;
+* exhausted flushes surface as typed 503s (never hangs, never drops);
+* the per-graph circuit breaker walks healthy → degraded → quarantined
+  deterministically and quarantined requests never touch the machine;
+* per-request deadlines expire as typed 504s at dequeue and post-flush;
+* client disconnects mid-response are counted, not crashed on;
+* ``drain_pending`` / ``shutdown(drain=True)`` fulfil every queued
+  ticket with a typed error even when every flush faults.
+
+The out-of-core configuration mirrors the chaos harness: faults fire on
+simulated *device* I/O, so graphs must not be served from memory
+(``allow_in_memory=False``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.config import FastBFSConfig
+from repro.errors import (
+    DeadlineExceededError,
+    FlushFailedError,
+    GraphQuarantinedError,
+)
+from repro.graph.generators import rmat_graph
+from repro.obs.exporters import parse_prometheus
+from repro.obs.hostprof import ManualHostClock
+from repro.serve import AdmissionController, BreakerPolicy, GraphService
+from repro.storage.device import DeviceSpec
+from repro.storage.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.storage.machine import IOReport, Machine, merge_reports
+from repro.utils.units import KB, MB
+
+from tests.test_serve import request
+
+GRAPH = rmat_graph(scale=8, edge_factor=8, seed=7)
+
+#: Same shape the chaos harness serves under: tiny buffers, two disks,
+#: out-of-core always, I/O-level retries on.
+CONFIG = FastBFSConfig(
+    edge_buffer_bytes=2 * KB,
+    update_buffer_bytes=1 * KB,
+    stay_buffer_bytes=1 * KB,
+    num_partitions=4,
+    allow_in_memory=False,
+    rotate_streams=True,
+    retry=RetryPolicy(max_attempts=4),
+)
+
+CRASH_PLAN = FaultPlan(
+    specs=(
+        FaultSpec(kind="crash", role="vertices", probability=1.0, max_fires=1),
+    ),
+    seed=11,
+)
+
+BROKEN_PLAN = FaultPlan(
+    specs=(FaultSpec(kind="persistent_error", probability=1.0),),
+    seed=11,
+)
+
+
+def make_service(fault_plan=None, **kwargs):
+    return GraphService(
+        port=0,
+        engine="fastbfs",
+        config=CONFIG,
+        machine_factory=lambda: Machine(
+            [DeviceSpec.hdd("hdd0"), DeviceSpec.hdd("hdd1")],
+            memory=2 * MB,
+            cores=4,
+        ),
+        fault_plan=fault_plan,
+        **kwargs,
+    ).start()
+
+
+def wait_until(predicate, attempts=2000, interval=0.005):
+    gate = threading.Event()
+    for _ in range(attempts):
+        if predicate():
+            return True
+        gate.wait(interval)
+    return predicate()
+
+
+class TestFaultWiring:
+    def test_registry_attaches_plan_after_clean_staging(self):
+        svc = make_service(fault_plan=CRASH_PLAN)
+        try:
+            entry = svc.register("g", GRAPH)
+            assert entry.fault_plan is CRASH_PLAN
+            injector = entry.machine.fault_injector
+            assert injector is not None
+            # Staging ran before the plan was attached: nothing fired yet.
+            assert injector.faults_injected == 0
+            status, _, stats = request(svc, "GET", "/graphs/g/stats")
+            assert status == 200
+            assert stats["fault_plan"] == {"specs": 1, "seed": 11}
+            assert stats["health"]["state"] == "healthy"
+        finally:
+            svc.shutdown()
+
+
+class TestRecoveryBitIdentity:
+    def test_crash_recovery_is_bit_identical_over_http(self):
+        clean = make_service()
+        try:
+            clean.register("g", GRAPH)
+            status, _, want = request(
+                clean, "POST", "/graphs/g/bfs", payload={"root": 3}
+            )
+            assert status == 200
+        finally:
+            clean.shutdown()
+
+        svc = make_service(fault_plan=CRASH_PLAN)
+        try:
+            entry = svc.register("g", GRAPH)
+            status, _, body = request(
+                svc, "POST", "/graphs/g/bfs", payload={"root": 3}
+            )
+            assert status == 200
+            assert body["flush"]["mode"] == "batched"
+            assert body["result"] == want["result"]
+            injector = entry.machine.fault_injector
+            assert injector.total("fault_crash") == 1
+            assert injector.total("crash_recoveries") == 1
+            assert entry.health.state == "healthy"
+            # /metrics still reconciles exactly: the crash fired, the
+            # session recovered, and the flush report is the single
+            # source of device truth.
+            _, _, metrics_text = request(svc, "GET", "/metrics")
+            registry = parse_prometheus(metrics_text)
+            merged = merge_reports(
+                [entry.staged.staging_report, IOReport.from_dict(body["report"])]
+            )
+            assert registry.reconcile(merged) == []
+            assert registry.total("fault_crash_total", graph="g") == 1.0
+            assert registry.total("crash_recoveries_total", graph="g") == 1.0
+        finally:
+            svc.shutdown()
+
+
+class TestBreakerOverHTTP:
+    def test_unrecoverable_flushes_degrade_then_quarantine(self):
+        clock = ManualHostClock()
+        svc = make_service(fault_plan=BROKEN_PLAN, clock=clock)
+        try:
+            entry = svc.register("g", GRAPH)
+            # Failures 1..3: typed 503 flush_failed (batched retries and
+            # the serial fallback both exhausted), breaker marching on.
+            for i, want_state in enumerate(
+                ("degraded", "degraded", "quarantined")
+            ):
+                status, headers, body = request(
+                    svc, "POST", "/graphs/g/bfs", payload={"root": 3}
+                )
+                assert status == 503, body
+                assert body["error"]["type"] == "flush_failed"
+                assert "Retry-After" in headers
+                assert entry.health.state == want_state
+            # Quarantined: rejected up front, machine untouched.
+            counts_before = entry.machine.fault_injector.counts_snapshot()
+            status, headers, body = request(
+                svc, "POST", "/graphs/g/bfs", payload={"root": 3}
+            )
+            assert status == 503
+            assert body["error"]["type"] == "graph_quarantined"
+            assert float(headers["Retry-After"]) > 0
+            assert entry.machine.fault_injector.counts_snapshot() == counts_before
+            # Readiness surfaces per graph without touching the machine.
+            status, _, health = request(svc, "GET", "/healthz")
+            assert health["graphs"]["g"] == {
+                "state": "quarantined", "ready": False,
+            }
+            # Cooldown elapses on the host clock -> probation half-open.
+            clock.advance(entry.health.reopen_at - clock.now())
+            status, _, body = request(
+                svc, "POST", "/graphs/g/bfs", payload={"root": 3}
+            )
+            assert status == 503
+            assert body["error"]["type"] == "flush_failed"
+            assert entry.health.state == "quarantined"  # probe failed
+            # The transition log is exact and typed.
+            status, _, debug = request(svc, "GET", "/debug/health")
+            walked = [
+                (t["from"], t["to"]) for t in debug["graphs"]["g"]["transitions"]
+            ]
+            assert walked == [
+                ("healthy", "degraded"),
+                ("degraded", "quarantined"),
+                ("quarantined", "probing"),
+                ("probing", "quarantined"),
+            ]
+            counters = svc.controller(entry).counters()
+            assert counters["serial_fallbacks"] == 4
+            registry = svc.metrics_snapshot()
+            assert registry.total("breaker_state", graph="g") == 3.0
+            assert registry.total("breaker_transitions_total", graph="g") == 4.0
+        finally:
+            svc.shutdown()
+
+
+class TestDeadlines:
+    def test_bad_deadline_payloads_are_rejected(self):
+        svc = make_service()
+        try:
+            svc.register("g", GRAPH)
+            for bad in (-5, 0, "fast", True):
+                status, _, body = request(
+                    svc, "POST", "/graphs/g/bfs",
+                    payload={"root": 3, "deadline_ms": bad},
+                )
+                assert status == 400
+                assert body["error"]["type"] == "bad_request"
+        finally:
+            svc.shutdown()
+
+    def test_queue_expiry_is_a_typed_504(self):
+        clock = ManualHostClock()
+        svc = make_service(clock=clock)
+        try:
+            entry = svc.register("g", GRAPH)
+            controller = svc.controller(entry)
+            controller.hold()
+            outcomes = {}
+
+            def fire(i):
+                outcomes[i] = request(
+                    svc, "POST", "/graphs/g/bfs",
+                    payload={"root": 3, "deadline_ms": 50.0},
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            assert wait_until(lambda: controller.depth == 3)
+            clock.advance(0.2)
+            controller.release()
+            for t in threads:
+                t.join()
+            for status, headers, body in outcomes.values():
+                assert status == 504
+                assert body["error"]["type"] == "deadline_exceeded"
+            assert controller.counters()["deadline_expired"] == 3
+            assert controller.depth == 0
+            registry = svc.metrics_snapshot()
+            assert registry.total("deadline_exceeded_total", graph="g") == 3.0
+        finally:
+            svc.shutdown()
+
+    def test_default_deadline_applies_server_wide(self):
+        clock = ManualHostClock()
+        svc = make_service(clock=clock, default_deadline_ms=50.0)
+        try:
+            entry = svc.register("g", GRAPH)
+            controller = svc.controller(entry)
+            controller.hold()
+            out = {}
+            t = threading.Thread(
+                target=lambda: out.update(
+                    r=request(svc, "POST", "/graphs/g/bfs", payload={"root": 3})
+                )
+            )
+            t.start()
+            assert wait_until(lambda: controller.depth == 1)
+            clock.advance(0.2)
+            controller.release()
+            t.join()
+            status, _, body = out["r"]
+            assert status == 504
+            assert body["error"]["type"] == "deadline_exceeded"
+        finally:
+            svc.shutdown()
+
+    def test_post_flush_expiry_never_drops_the_ticket(self):
+        clock = ManualHostClock()
+        svc = make_service(clock=clock)
+        try:
+            entry = svc.register("g", GRAPH)
+            controller = AdmissionController(
+                entry,
+                clock=clock,
+                metrics_sink=lambda registry: clock.advance(10.0),
+            )
+            ticket = controller.offer("late", 3, deadline_ms=1000.0)
+            controller.flush()
+            assert ticket.done.is_set()
+            assert isinstance(ticket.error, DeadlineExceededError)
+            assert "post-flush" in str(ticket.error)
+            assert controller.counters()["deadline_expired"] == 1
+        finally:
+            svc.shutdown()
+
+
+class TestClientDisconnect:
+    def test_mid_response_reset_is_counted_not_crashed_on(self):
+        svc = make_service()
+        try:
+            svc.register("g", GRAPH)
+            payload = json.dumps({"root": 3}).encode("utf-8")
+            raw = (
+                b"POST /graphs/g/bfs HTTP/1.1\r\n"
+                b"Host: 127.0.0.1\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(payload)}\r\n\r\n".encode("utf-8")
+                + payload
+            )
+            sock = socket.create_connection(("127.0.0.1", svc.port))
+            try:
+                sock.sendall(raw)
+                # RST on close: the handler's response write fails with
+                # BrokenPipeError/ConnectionResetError mid-send.
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            finally:
+                sock.close()
+            assert wait_until(
+                lambda: svc.metrics_snapshot().total("client_disconnect_total")
+                >= 1.0
+            ), "disconnect was never counted"
+            # The service is still fully alive afterwards.
+            status, _, body = request(
+                svc, "POST", "/graphs/g/bfs", payload={"root": 3}
+            )
+            assert status == 200
+        finally:
+            svc.shutdown()
+
+
+class TestDrainUnderFaults:
+    def test_drain_pending_types_every_ticket_and_empties_the_queue(self):
+        svc = make_service(
+            fault_plan=BROKEN_PLAN,
+            # Keep the breaker out of the way: this test pins down drain
+            # semantics, not quarantine (covered above).
+            breaker_policy=BreakerPolicy(quarantine_after=100),
+        )
+        try:
+            entry = svc.register("g", GRAPH)
+            controller = svc.controller(entry)
+            controller.hold()
+            tickets = [
+                controller.offer(f"drain-{i}", 3) for i in range(3)
+            ]
+            assert controller.depth == 3
+            controller.release()
+            assert controller.drain_pending() == 3
+            assert controller.depth == 0
+            for ticket in tickets:
+                assert ticket.done.is_set()
+                assert isinstance(ticket.error, FlushFailedError)
+            with pytest.raises(FlushFailedError):
+                controller.submit("one-more", 3)
+        finally:
+            svc.shutdown(drain=True)  # must not hang
+
+    def test_quarantined_offer_is_rejected_before_the_queue(self):
+        svc = make_service(fault_plan=BROKEN_PLAN)
+        try:
+            entry = svc.register("g", GRAPH)
+            for _ in range(3):
+                with pytest.raises(FlushFailedError):
+                    svc.controller(entry).submit("x", 3)
+            assert entry.health.state == "quarantined"
+            with pytest.raises(GraphQuarantinedError) as exc:
+                svc.controller(entry).offer("y", 3)
+            assert exc.value.retry_after > 0
+            assert svc.controller(entry).depth == 0
+        finally:
+            svc.shutdown()
